@@ -1,0 +1,109 @@
+// Command gcagent runs a Console Agent (the paper's CA) on a worker
+// node, over real TCP: it executes an unmodified program with its
+// standard streams interposed, and forwards them to a gcshadow running
+// on the user's submission machine.
+//
+// Usage:
+//
+//	gcagent -shadow HOST:PORT [-subjob N] [-mode fast|reliable] -- command [args...]
+//
+// The program runs exactly as if it were attached to the user's
+// terminal: no recompilation, no code changes — split execution per
+// Section 4 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"crossbroker/internal/console"
+	"crossbroker/internal/gsi"
+	"crossbroker/internal/interpose"
+	"crossbroker/internal/jdl"
+)
+
+func main() {
+	shadowAddr := flag.String("shadow", "", "address of the Console Shadow (host:port)")
+	subjob := flag.Int("subjob", 0, "subjob index of this agent")
+	mode := flag.String("mode", "fast", "streaming mode: fast or reliable")
+	spill := flag.String("spill", os.TempDir(), "directory for reliable-mode spill files")
+	retry := flag.Duration("retry", time.Second, "reliable-mode reconnect interval")
+	retries := flag.Int("retries", 60, "reconnect attempts before killing the job")
+	credPath := flag.String("cred", "", "GSI credential (gsictl); enables mutual authentication")
+	caPath := flag.String("ca", "", "GSI trust root certificate (required with -cred)")
+	naux := flag.Int("aux", 0, "number of auxiliary output channels (child fds 3, 4, ...)")
+	flag.Parse()
+
+	if *shadowAddr == "" || flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: gcagent -shadow HOST:PORT [flags] -- command [args...]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	smode := jdl.FastStreaming
+	switch *mode {
+	case "fast":
+	case "reliable":
+		smode = jdl.ReliableStreaming
+	default:
+		fatal("unknown mode %q", *mode)
+	}
+
+	dial := func() (net.Conn, error) { return net.Dial("tcp", *shadowAddr) }
+	if *credPath != "" {
+		if *caPath == "" {
+			fatal("-cred requires -ca")
+		}
+		cred, err := gsi.LoadCredential(*credPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		root, err := gsi.LoadCertificate(*caPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		pool := gsi.NewPool()
+		pool.AddCA(root)
+		dial = func() (net.Conn, error) {
+			raw, err := net.Dial("tcp", *shadowAddr)
+			if err != nil {
+				return nil, err
+			}
+			sc, err := gsi.Handshake(raw, cred, pool, time.Now(), false)
+			if err != nil {
+				raw.Close()
+				return nil, err
+			}
+			return sc, nil
+		}
+	}
+
+	proc, err := interpose.CommandAux(*naux, flag.Arg(0), flag.Args()[1:]...)
+	if err != nil {
+		fatal("start %s: %v", flag.Arg(0), err)
+	}
+
+	agent, err := console.StartAgent(console.AgentConfig{
+		Subjob:        uint16(*subjob),
+		Mode:          smode,
+		Dial:          dial,
+		SpillDir:      *spill,
+		RetryInterval: *retry,
+		MaxRetries:    *retries,
+	}, proc)
+	if err != nil {
+		proc.Kill()
+		fatal("start agent: %v", err)
+	}
+
+	if err := agent.Wait(); err != nil {
+		fatal("job: %v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gcagent: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// Command gcshadow runs a Console Shadow (the paper's CS/JS) on the
+// user's submission machine, over real TCP: it listens for Console
+// Agents (gcagent), forwards this terminal's standard input to every
+// subjob, and merges the subjobs' output onto this terminal.
+//
+// Usage:
+//
+//	gcshadow [-port N] [-subjobs N] [-mode fast|reliable] [-spill DIR]
+//
+// With -port 0 (the default) the shadow probes for a free port — the
+// paper's "randomly selected port" — and prints it; pass a fixed port
+// when a firewall only has specific ports open.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"crossbroker/internal/console"
+	"crossbroker/internal/gsi"
+	"crossbroker/internal/jdl"
+)
+
+func main() {
+	port := flag.Int("port", 0, "TCP port to listen on (0 probes for a free one)")
+	subjobs := flag.Int("subjobs", 1, "number of Console Agents to expect")
+	mode := flag.String("mode", "fast", "streaming mode: fast or reliable")
+	spill := flag.String("spill", os.TempDir(), "directory for reliable-mode spill files")
+	retry := flag.Duration("retry", time.Second, "reliable-mode reconnect interval")
+	retries := flag.Int("retries", 60, "reliable-mode reconnect attempts before giving up")
+	credPath := flag.String("cred", "", "GSI credential (gsictl); enables mutual authentication")
+	caPath := flag.String("ca", "", "GSI trust root certificate (required with -cred)")
+	auxDir := flag.String("aux-dir", "", "directory receiving auxiliary channels as aux-<subjob>-<channel>.log")
+	flag.Parse()
+
+	smode, err := parseMode(*mode)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	l, err := net.Listen("tcp", fmt.Sprintf(":%d", *port))
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	defer l.Close()
+	fmt.Fprintf(os.Stderr, "gcshadow: listening on %s for %d subjob(s), %s mode\n",
+		l.Addr(), *subjobs, smode)
+
+	accept := l.Accept
+	if *credPath != "" {
+		cred, pool, err := loadGSI(*credPath, *caPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		accept = func() (net.Conn, error) {
+			// A failed handshake rejects that one peer; only listener
+			// errors may end the accept loop.
+			for {
+				raw, err := l.Accept()
+				if err != nil {
+					return nil, err
+				}
+				sc, err := gsi.Handshake(raw, cred, pool, time.Now(), true)
+				if err != nil {
+					raw.Close()
+					fmt.Fprintf(os.Stderr, "gcshadow: rejected connection: %v\n", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "gcshadow: authenticated agent %q\n", sc.PeerIdentity())
+				return sc, nil
+			}
+		}
+	}
+
+	var auxSink func(uint16, int, []byte, bool)
+	if *auxDir != "" {
+		auxSink = fileAuxSink(*auxDir)
+	}
+
+	shadow, err := console.StartShadow(console.ShadowConfig{
+		Mode:          smode,
+		Subjobs:       *subjobs,
+		Accept:        accept,
+		Stdout:        os.Stdout,
+		Stderr:        os.Stderr,
+		Stdin:         os.Stdin,
+		AuxSink:       auxSink,
+		SpillDir:      *spill,
+		RetryInterval: *retry,
+		MaxRetries:    *retries,
+	})
+	if err != nil {
+		fatal("start shadow: %v", err)
+	}
+	defer shadow.Close()
+
+	<-shadow.Done()
+	fmt.Fprintf(os.Stderr, "gcshadow: all subjobs finished\n")
+}
+
+// fileAuxSink appends each auxiliary channel to its own file under
+// dir, serializing writes per (subjob, channel).
+func fileAuxSink(dir string) func(uint16, int, []byte, bool) {
+	var mu sync.Mutex
+	files := make(map[string]*os.File)
+	return func(subjob uint16, channel int, data []byte, eof bool) {
+		key := fmt.Sprintf("aux-%d-%d.log", subjob, channel)
+		mu.Lock()
+		defer mu.Unlock()
+		f, ok := files[key]
+		if !ok && !eof {
+			var err error
+			f, err = os.Create(filepath.Join(dir, key))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gcshadow: aux channel: %v\n", err)
+				return
+			}
+			files[key] = f
+		}
+		if eof {
+			if f != nil {
+				f.Close()
+				delete(files, key)
+			}
+			return
+		}
+		f.Write(data)
+	}
+}
+
+func loadGSI(credPath, caPath string) (*gsi.Credential, *gsi.Pool, error) {
+	if caPath == "" {
+		return nil, nil, fmt.Errorf("-cred requires -ca")
+	}
+	cred, err := gsi.LoadCredential(credPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := gsi.LoadCertificate(caPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	pool := gsi.NewPool()
+	pool.AddCA(root)
+	return cred, pool, nil
+}
+
+func parseMode(s string) (jdl.StreamingMode, error) {
+	switch s {
+	case "fast":
+		return jdl.FastStreaming, nil
+	case "reliable":
+		return jdl.ReliableStreaming, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want fast or reliable)", s)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gcshadow: "+format+"\n", args...)
+	os.Exit(1)
+}

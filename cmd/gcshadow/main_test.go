@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"crossbroker/internal/gsi"
+	"crossbroker/internal/jdl"
+)
+
+func TestParseMode(t *testing.T) {
+	if m, err := parseMode("fast"); err != nil || m != jdl.FastStreaming {
+		t.Fatalf("fast: %v %v", m, err)
+	}
+	if m, err := parseMode("reliable"); err != nil || m != jdl.ReliableStreaming {
+		t.Fatalf("reliable: %v %v", m, err)
+	}
+	if _, err := parseMode("sometimes"); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+}
+
+func TestLoadGSI(t *testing.T) {
+	dir := t.TempDir()
+	ca, err := gsi.NewCA("/CN=CA", time.Now(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := ca.Issue("/CN=u", time.Now(), time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	credPath := filepath.Join(dir, "u.cred")
+	certPath := filepath.Join(dir, "ca.cert")
+	cred.Save(credPath)
+	gsi.SaveCertificate(ca.Certificate(), certPath)
+
+	loaded, pool, err := loadGSI(credPath, certPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Verify(loaded.Chain, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadGSI(credPath, ""); err == nil {
+		t.Fatal("missing -ca accepted")
+	}
+	if _, _, err := loadGSI(filepath.Join(dir, "absent"), certPath); err == nil {
+		t.Fatal("missing credential accepted")
+	}
+}
+
+func TestFileAuxSink(t *testing.T) {
+	dir := t.TempDir()
+	sink := fileAuxSink(dir)
+	sink(0, 0, []byte("hello "), false)
+	sink(0, 0, []byte("world\n"), false)
+	sink(1, 2, []byte("other channel\n"), false)
+	sink(0, 0, nil, true)
+	sink(1, 2, nil, true)
+	// EOF for a channel that never produced data must not crash.
+	sink(3, 3, nil, true)
+
+	data, err := os.ReadFile(filepath.Join(dir, "aux-0-0.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello world\n" {
+		t.Fatalf("aux-0-0 = %q", data)
+	}
+	data, _ = os.ReadFile(filepath.Join(dir, "aux-1-2.log"))
+	if string(data) != "other channel\n" {
+		t.Fatalf("aux-1-2 = %q", data)
+	}
+}

@@ -1,0 +1,151 @@
+// Command gsictl manages the simulated Grid Security Infrastructure
+// credentials used by gcshadow/gcagent in secure mode:
+//
+//	gsictl init-ca   -name "/O=CrossGrid/CN=TestbedCA" -out ca.key -cert ca.cert
+//	gsictl issue     -ca ca.key -name "/O=UAB/CN=user" -out user.cred [-hours 12]
+//	gsictl delegate  -cred user.cred -out proxy.cred [-hours 2]
+//	gsictl show      -in user.cred|ca.cert
+//
+// Real GSI uses grid-cert-request/grid-proxy-init over X.509; this is
+// the same workflow over the repository's simulated certificates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"crossbroker/internal/gsi"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "init-ca":
+		err = initCA(os.Args[2:])
+	case "issue":
+		err = issue(os.Args[2:])
+	case "delegate":
+		err = delegate(os.Args[2:])
+	case "show":
+		err = show(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gsictl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gsictl {init-ca|issue|delegate|show} [flags]")
+	os.Exit(2)
+}
+
+func initCA(args []string) error {
+	fs := flag.NewFlagSet("init-ca", flag.ExitOnError)
+	name := fs.String("name", "/O=CrossGrid/CN=TestbedCA", "CA distinguished name")
+	out := fs.String("out", "ca.key", "CA signing material output (keep private)")
+	cert := fs.String("cert", "ca.cert", "CA certificate output (distribute as trust root)")
+	days := fs.Int("days", 365, "CA validity in days")
+	fs.Parse(args)
+
+	ca, err := gsi.NewCA(*name, time.Now(), time.Duration(*days)*24*time.Hour)
+	if err != nil {
+		return err
+	}
+	if err := ca.Save(*out); err != nil {
+		return err
+	}
+	if err := gsi.SaveCertificate(ca.Certificate(), *cert); err != nil {
+		return err
+	}
+	fmt.Printf("created CA %q\n  signing key: %s\n  trust root:  %s\n", *name, *out, *cert)
+	return nil
+}
+
+func issue(args []string) error {
+	fs := flag.NewFlagSet("issue", flag.ExitOnError)
+	caPath := fs.String("ca", "ca.key", "CA signing material")
+	name := fs.String("name", "", "subject distinguished name")
+	out := fs.String("out", "", "credential output path")
+	hours := fs.Int("hours", 12, "credential validity in hours")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		return fmt.Errorf("issue requires -name and -out")
+	}
+	ca, err := gsi.LoadCA(*caPath)
+	if err != nil {
+		return err
+	}
+	cred, err := ca.Issue(*name, time.Now(), time.Duration(*hours)*time.Hour)
+	if err != nil {
+		return err
+	}
+	if err := cred.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("issued credential for %q -> %s (valid %dh)\n", *name, *out, *hours)
+	return nil
+}
+
+func delegate(args []string) error {
+	fs := flag.NewFlagSet("delegate", flag.ExitOnError)
+	credPath := fs.String("cred", "", "parent credential")
+	out := fs.String("out", "", "proxy credential output")
+	hours := fs.Int("hours", 2, "proxy validity in hours")
+	fs.Parse(args)
+	if *credPath == "" || *out == "" {
+		return fmt.Errorf("delegate requires -cred and -out")
+	}
+	cred, err := gsi.LoadCredential(*credPath)
+	if err != nil {
+		return err
+	}
+	proxy, err := cred.Delegate(time.Now(), time.Duration(*hours)*time.Hour)
+	if err != nil {
+		return err
+	}
+	if err := proxy.Save(*out); err != nil {
+		return err
+	}
+	fmt.Printf("delegated proxy %q (identity %q) -> %s (valid %dh)\n",
+		proxy.Subject(), proxy.Identity(), *out, *hours)
+	return nil
+}
+
+func show(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	in := fs.String("in", "", "credential or certificate file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("show requires -in")
+	}
+	if cred, err := gsi.LoadCredential(*in); err == nil {
+		fmt.Printf("credential: subject %q identity %q, chain length %d\n",
+			cred.Subject(), cred.Identity(), len(cred.Chain))
+		for i, c := range cred.Chain {
+			kind := "end-entity"
+			if c.IsProxy {
+				kind = "proxy"
+			}
+			fmt.Printf("  [%d] %-10s %q issued by %q, valid %s .. %s\n",
+				i, kind, c.Subject, c.Issuer,
+				c.NotBefore.Format(time.RFC3339), c.NotAfter.Format(time.RFC3339))
+		}
+		return nil
+	}
+	cert, err := gsi.LoadCertificate(*in)
+	if err != nil {
+		return fmt.Errorf("%s is neither a credential nor a certificate", *in)
+	}
+	fmt.Printf("certificate: %q issued by %q, valid %s .. %s\n",
+		cert.Subject, cert.Issuer,
+		cert.NotBefore.Format(time.RFC3339), cert.NotAfter.Format(time.RFC3339))
+	return nil
+}

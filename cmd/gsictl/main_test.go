@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"crossbroker/internal/gsi"
+)
+
+func TestFullCredentialWorkflow(t *testing.T) {
+	dir := t.TempDir()
+	caKey := filepath.Join(dir, "ca.key")
+	caCert := filepath.Join(dir, "ca.cert")
+	userCred := filepath.Join(dir, "user.cred")
+	proxyCred := filepath.Join(dir, "proxy.cred")
+
+	if err := initCA([]string{"-name", "/CN=TestCA", "-out", caKey, "-cert", caCert}); err != nil {
+		t.Fatal(err)
+	}
+	if err := issue([]string{"-ca", caKey, "-name", "/CN=user", "-out", userCred}); err != nil {
+		t.Fatal(err)
+	}
+	if err := delegate([]string{"-cred", userCred, "-out", proxyCred}); err != nil {
+		t.Fatal(err)
+	}
+	if err := show([]string{"-in", proxyCred}); err != nil {
+		t.Fatal(err)
+	}
+	if err := show([]string{"-in", caCert}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The produced chain verifies against the produced trust root.
+	root, err := gsi.LoadCertificate(caCert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := gsi.NewPool()
+	pool.AddCA(root)
+	proxy, err := gsi.LoadCredential(proxyCred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := pool.Verify(proxy.Chain, proxy.Chain[0].NotBefore.Add(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "/CN=user" {
+		t.Fatalf("identity = %q", id)
+	}
+}
+
+func TestSubcommandValidation(t *testing.T) {
+	if err := issue([]string{"-name", "/CN=x"}); err == nil {
+		t.Fatal("issue without -out accepted")
+	}
+	if err := delegate([]string{}); err == nil {
+		t.Fatal("delegate without args accepted")
+	}
+	if err := show([]string{}); err == nil {
+		t.Fatal("show without -in accepted")
+	}
+	junk := filepath.Join(t.TempDir(), "junk")
+	os.WriteFile(junk, []byte("junk"), 0o600)
+	if err := show([]string{"-in", junk}); err == nil {
+		t.Fatal("show accepted junk file")
+	}
+}

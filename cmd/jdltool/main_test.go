@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"crossbroker/internal/jdl"
+)
+
+func TestProcessValidDocument(t *testing.T) {
+	src := `
+Executable      = "app";
+JobType         = {"interactive", "mpich-g2"};
+NodeNumber      = 4;
+StreamingMode   = "reliable";
+MachineAccess   = "shared";
+PerformanceLoss = 15;
+Requirements    = other.MemoryMB >= 512;
+InputFiles      = {"a.dat"};
+`
+	if err := process("test.jdl", src, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := process("test.jdl", src, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcessRejectsBadDocuments(t *testing.T) {
+	for _, src := range []string{
+		`Executable = ;`,
+		`JobType = "batch";`, // no executable
+		`Executable = "x"; PerformanceLoss = 7; JobType = "interactive";`,
+	} {
+		if err := process("bad.jdl", src, true); err == nil {
+			t.Errorf("process(%q) accepted", src)
+		}
+	}
+}
+
+func TestSummarizeContents(t *testing.T) {
+	j, err := jdl.ParseJob(`
+Executable      = "sim";
+Arguments       = "-n 4";
+JobType         = {"interactive", "mpich-p4"};
+NodeNumber      = 4;
+MachineAccess   = "shared";
+PerformanceLoss = 25;
+Rank            = other.FreeCPUs * 2;
+InputFiles      = {"in.dat", "cfg.ini"};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := summarize(j)
+	for _, want := range []string{
+		"sim -n 4",
+		"interactive mpich-p4 on 4 node(s)",
+		"shared (PerformanceLoss 25%)",
+		"other.FreeCPUs * 2",
+		"in.dat, cfg.ini",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSummarizeBatchOmitsInteractiveFields(t *testing.T) {
+	j, _ := jdl.ParseJob(`Executable = "b"; JobType = "batch";`)
+	out := summarize(j)
+	if strings.Contains(out, "streaming") || strings.Contains(out, "PerformanceLoss") {
+		t.Fatalf("batch summary has interactive fields:\n%s", out)
+	}
+}

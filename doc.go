@@ -1,0 +1,27 @@
+// Package crossbroker is a complete Go reproduction of "Resource
+// Management for Interactive Jobs in a Grid Environment" (Fernández,
+// Heymann, Senar; IEEE CLUSTER 2006): the CrossGrid project's
+// CrossBroker scheduler and Grid Console split-execution system, plus
+// simulated substrates for the 2006 grid ecosystem they ran on.
+//
+// Layout:
+//
+//   - internal/core assembles the full stack (virtual-time grid System,
+//     real-time interactive Session);
+//   - internal/broker, internal/console, internal/glidein,
+//     internal/vmslot, internal/fairshare, internal/jdl implement the
+//     paper's contributions;
+//   - internal/site, internal/batch, internal/infosys, internal/netsim,
+//     internal/gsi, internal/mpisim, internal/interpose,
+//     internal/baseline simulate the substrate (Globus gatekeepers,
+//     PBS/Condor queues, MDS, networks, GSI, MPICH, ssh/Glogin);
+//   - internal/experiments regenerates every table and figure of the
+//     paper's evaluation; cmd/gridbench is its CLI and this package's
+//     bench_test.go exposes the same as Go benchmarks;
+//   - cmd/gcshadow, cmd/gcagent, cmd/gsictl, cmd/jdltool,
+//     cmd/crossbroker are the runnable tools.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitution rationale, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package crossbroker

@@ -1,0 +1,83 @@
+// Monitoring: the "transparent streaming of other IO traffic"
+// extension (paper Section 7, future work). A remote simulation writes
+// its interactive output on stdout while continuously emitting
+// telemetry on a separate auxiliary channel — an extra file descriptor
+// it treats as an ordinary fd. The Grid Console forwards both streams;
+// the user's side shows output on the terminal and routes telemetry to
+// a monitoring consumer without the two ever mixing.
+//
+// Run with: go run ./examples/monitoring
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"crossbroker/internal/core"
+	"crossbroker/internal/interpose"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/netsim"
+)
+
+func main() {
+	// The telemetry consumer: counts samples per channel.
+	var mu sync.Mutex
+	samples := 0
+	var last string
+	sink := func(subjob uint16, channel int, data []byte, eof bool) {
+		if eof {
+			return
+		}
+		mu.Lock()
+		samples += strings.Count(string(data), "\n")
+		if i := strings.LastIndexByte(strings.TrimRight(string(data), "\n"), '\n'); i >= 0 {
+			last = strings.TrimRight(string(data)[i+1:], "\n")
+		} else {
+			last = strings.TrimRight(string(data), "\n")
+		}
+		mu.Unlock()
+	}
+
+	app := func(stdin io.Reader, stdout, stderr io.Writer, aux []io.Writer) error {
+		for step := 1; step <= 5; step++ {
+			// Interactive output the user watches...
+			fmt.Fprintf(stdout, "step %d: simulation advancing\n", step)
+			// ...and high-rate telemetry on the side channel.
+			for s := 0; s < 10; s++ {
+				fmt.Fprintf(aux[0], "telemetry step=%d sample=%d residual=%.4f\n",
+					step, s, 1.0/float64(step*10+s+1))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		fmt.Fprintln(stdout, "simulation complete")
+		return nil
+	}
+
+	sess, err := core.StartAuxSession(core.SessionConfig{
+		Mode:          jdl.ReliableStreaming,
+		Profile:       netsim.WideArea(),
+		Stdout:        os.Stdout,
+		Stderr:        os.Stderr,
+		AuxSink:       sink,
+		SpillDir:      os.TempDir(),
+		FlushInterval: 20 * time.Millisecond,
+	}, 1, []interpose.AuxAppFunc{app})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+
+	if err := sess.Wait(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	// Telemetry EOF trails the session; give it a moment.
+	time.Sleep(200 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\n[monitoring consumer received %d telemetry samples; last: %q]\n", samples, last)
+}

@@ -1,0 +1,3 @@
+module crossbroker
+
+go 1.22

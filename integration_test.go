@@ -1,0 +1,214 @@
+package crossbroker
+
+// Cross-binary integration tests: build the real command-line tools
+// and drive a complete split-execution session over real TCP,
+// including GSI credentials issued by one binary and verified by
+// another. This exercises exactly the cross-process/cross-binary
+// surface that in-process tests cannot (it caught a non-canonical
+// certificate-signing encoding during development).
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildTools compiles the needed commands once into a temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	args := []string{"build", "-o", dir + string(os.PathSeparator)}
+	for _, n := range names {
+		args = append(args, "./cmd/"+n)
+	}
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	tools := make(map[string]string)
+	for _, n := range names {
+		tools[n] = filepath.Join(dir, n)
+	}
+	return tools
+}
+
+// freePort grabs an ephemeral TCP port.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().(*net.TCPAddr).Port
+}
+
+func waitListening(t *testing.T, port int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c, err := net.Dial("tcp", fmt.Sprintf("127.0.0.1:%d", port))
+		if err == nil {
+			c.Close()
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("gcshadow never started listening")
+}
+
+func TestRealBinariesPlainSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	tools := buildTools(t, "gcshadow", "gcagent")
+	port := freePort(t)
+	spill := t.TempDir()
+
+	shadow := exec.Command(tools["gcshadow"],
+		"-port", fmt.Sprint(port), "-subjobs", "1", "-mode", "reliable", "-spill", spill)
+	shadow.Stdin = strings.NewReader("first line\nsecond line\n")
+	var shadowOut, shadowErr bytes.Buffer
+	shadow.Stdout = &shadowOut
+	shadow.Stderr = &shadowErr
+	if err := shadow.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer shadow.Process.Kill()
+	waitListening(t, port)
+
+	agent := exec.Command(tools["gcagent"],
+		"-shadow", fmt.Sprintf("127.0.0.1:%d", port), "-mode", "reliable", "-spill", spill,
+		"--", "sh", "-c", `while read l; do echo "echo: $l"; done; echo bye >&2`)
+	agentOut, err := agent.CombinedOutput()
+	if err != nil {
+		t.Fatalf("gcagent: %v\n%s", err, agentOut)
+	}
+	if err := shadow.Wait(); err != nil {
+		t.Fatalf("gcshadow: %v\nstderr: %s", err, shadowErr.String())
+	}
+	want := "echo: first line\necho: second line\n"
+	if got := shadowOut.String(); got != want {
+		t.Fatalf("session output = %q, want %q\nshadow stderr: %s", got, want, shadowErr.String())
+	}
+}
+
+func TestRealBinariesSecureSessionWithAux(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	tools := buildTools(t, "gcshadow", "gcagent", "gsictl")
+	dir := t.TempDir()
+	caKey := filepath.Join(dir, "ca.key")
+	caCert := filepath.Join(dir, "ca.cert")
+	proxyCred := filepath.Join(dir, "proxy.cred")
+	userCred := filepath.Join(dir, "user.cred")
+	agentCred := filepath.Join(dir, "agent.cred")
+
+	// Credentials issued by the gsictl binary must verify inside the
+	// gcshadow/gcagent binaries.
+	for _, args := range [][]string{
+		{"init-ca", "-out", caKey, "-cert", caCert},
+		{"issue", "-ca", caKey, "-name", "/O=UAB/CN=user", "-out", userCred},
+		{"delegate", "-cred", userCred, "-out", proxyCred},
+		{"issue", "-ca", caKey, "-name", "/O=UAB/CN=wn01", "-out", agentCred},
+	} {
+		if out, err := exec.Command(tools["gsictl"], args...).CombinedOutput(); err != nil {
+			t.Fatalf("gsictl %v: %v\n%s", args, err, out)
+		}
+	}
+
+	port := freePort(t)
+	auxDir := t.TempDir()
+	shadow := exec.Command(tools["gcshadow"],
+		"-port", fmt.Sprint(port), "-subjobs", "1", "-mode", "reliable",
+		"-spill", t.TempDir(), "-cred", proxyCred, "-ca", caCert, "-aux-dir", auxDir)
+	shadow.Stdin = strings.NewReader("")
+	var shadowOut, shadowErr bytes.Buffer
+	shadow.Stdout = &shadowOut
+	shadow.Stderr = &shadowErr
+	if err := shadow.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer shadow.Process.Kill()
+	waitListening(t, port)
+
+	agent := exec.Command(tools["gcagent"],
+		"-shadow", fmt.Sprintf("127.0.0.1:%d", port), "-mode", "reliable",
+		"-spill", t.TempDir(), "-cred", agentCred, "-ca", caCert, "-aux", "1",
+		"--", "sh", "-c", "echo visible output; echo side channel >&3")
+	if out, err := agent.CombinedOutput(); err != nil {
+		t.Fatalf("gcagent: %v\n%s\nshadow stderr: %s", err, out, shadowErr.String())
+	}
+	if err := shadow.Wait(); err != nil {
+		t.Fatalf("gcshadow: %v\nstderr: %s", err, shadowErr.String())
+	}
+	if got := shadowOut.String(); got != "visible output\n" {
+		t.Fatalf("stdout = %q\nshadow stderr: %s", got, shadowErr.String())
+	}
+	if !strings.Contains(shadowErr.String(), `authenticated agent "/O=UAB/CN=wn01"`) {
+		t.Fatalf("mutual authentication not logged:\n%s", shadowErr.String())
+	}
+	aux, err := os.ReadFile(filepath.Join(auxDir, "aux-0-0.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(aux) != "side channel\n" {
+		t.Fatalf("aux channel = %q", aux)
+	}
+}
+
+func TestRealBinariesRejectUntrustedAgent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs real binaries")
+	}
+	tools := buildTools(t, "gcshadow", "gcagent", "gsictl")
+	dir := t.TempDir()
+	// Two independent CAs: the shadow trusts only the first.
+	for _, args := range [][]string{
+		{"init-ca", "-out", filepath.Join(dir, "ca1.key"), "-cert", filepath.Join(dir, "ca1.cert")},
+		{"init-ca", "-out", filepath.Join(dir, "ca2.key"), "-cert", filepath.Join(dir, "ca2.cert")},
+		{"issue", "-ca", filepath.Join(dir, "ca1.key"), "-name", "/CN=shadow", "-out", filepath.Join(dir, "shadow.cred")},
+		{"issue", "-ca", filepath.Join(dir, "ca2.key"), "-name", "/CN=rogue", "-out", filepath.Join(dir, "rogue.cred")},
+	} {
+		if out, err := exec.Command(tools["gsictl"], args...).CombinedOutput(); err != nil {
+			t.Fatalf("gsictl %v: %v\n%s", args, err, out)
+		}
+	}
+
+	port := freePort(t)
+	shadow := exec.Command(tools["gcshadow"],
+		"-port", fmt.Sprint(port), "-subjobs", "1",
+		"-cred", filepath.Join(dir, "shadow.cred"), "-ca", filepath.Join(dir, "ca1.cert"))
+	shadow.Stdin = strings.NewReader("")
+	var shadowErr bytes.Buffer
+	shadow.Stderr = &shadowErr
+	if err := shadow.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer shadow.Process.Kill()
+	waitListening(t, port)
+
+	// The rogue agent (untrusted CA, few retries) must fail.
+	agent := exec.Command(tools["gcagent"],
+		"-shadow", fmt.Sprintf("127.0.0.1:%d", port),
+		"-cred", filepath.Join(dir, "rogue.cred"), "-ca", filepath.Join(dir, "ca2.cert"),
+		"-retry", "50ms", "-retries", "3",
+		"--", "echo", "should never appear")
+	out, err := agent.CombinedOutput()
+	if err == nil {
+		t.Fatalf("rogue agent succeeded:\n%s", out)
+	}
+	shadow.Process.Kill()
+	shadow.Wait()
+	if !strings.Contains(shadowErr.String(), "rejected connection") {
+		t.Fatalf("shadow did not log the rejection:\n%s", shadowErr.String())
+	}
+}

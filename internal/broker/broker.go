@@ -1,0 +1,370 @@
+// Package broker implements the CrossBroker (Sections 3 and 5): the
+// resource-management service that schedules batch and interactive
+// jobs onto grid sites, with the interactive-oriented mechanisms the
+// paper adds to an otherwise batch-oriented brokering system:
+//
+//   - On-line scheduling: an interactive job that enters a remote
+//     queue instead of starting immediately is killed and resubmitted
+//     to another available resource.
+//   - Exclusive temporal access: a matched resource is leased for a
+//     configurable window so concurrent matchmaking passes do not
+//     hand the same machine to two applications.
+//   - Randomized selection among equally ranked resources.
+//   - Fair-share user priorities (internal/fairshare) with
+//     application factors that make interactive jobs cost more and
+//     compensate yielded batch jobs; users with worse priority are
+//     rejected when resources are insufficient.
+//   - Job multi-programming via glide-in agents (internal/glidein):
+//     the broker keeps a local registry of agents, so placing an
+//     interactive job on a free interactive VM skips discovery,
+//     selection, the gatekeeper and the local queue entirely.
+//
+// The broker runs in virtual time on a simclock.Sim; every submission
+// becomes a simulation process whose phase timestamps (discovery,
+// selection, submission-to-first-output) are recorded on the Handle,
+// which is how the Table I benchmark extracts its rows.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"crossbroker/internal/fairshare"
+	"crossbroker/internal/glidein"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+	"crossbroker/internal/vmslot"
+)
+
+// Submission outcomes.
+var (
+	// ErrNoResources means no machine (with or without agent) can run
+	// the job now; interactive submissions fail with it, per Section
+	// 5.2.
+	ErrNoResources = errors.New("broker: no resources available")
+	// ErrRejected means the user's fair-share priority was too poor
+	// for the current contention.
+	ErrRejected = errors.New("broker: rejected by fair-share policy")
+	// ErrNoMatch means no registered site satisfies the job's
+	// Requirements.
+	ErrNoMatch = errors.New("broker: no site matches job requirements")
+)
+
+// Config parametrizes the broker.
+type Config struct {
+	// Sim is the simulation clock everything runs on.
+	Sim *simclock.Sim
+	// Info is the information system used for resource discovery.
+	Info *infosys.Service
+	// Fair is the fair-share manager; nil disables accounting.
+	Fair *fairshare.Manager
+	// Seed drives randomized resource selection.
+	Seed int64
+	// Deterministic disables the randomized tie-break, keeping
+	// candidates in information-system order (for the ablation that
+	// shows why the paper randomizes).
+	Deterministic bool
+	// LeaseDuration is the exclusive-temporal-access window per
+	// matched CPU (default 30 s).
+	LeaseDuration time.Duration
+	// QueueTimeout is how long an interactive job may sit in a remote
+	// queue before the broker kills and resubmits it (default 10 s).
+	QueueTimeout time.Duration
+	// RetryInterval is the broker-queue dispatch period for waiting
+	// batch jobs (default 30 s).
+	RetryInterval time.Duration
+	// RejectAbove is the fair-share priority ceiling: when resources
+	// are insufficient, users with priority above it are rejected.
+	// Zero means no ceiling.
+	RejectAbove float64
+	// AgentRegistryCost models the (local) combined
+	// discovery+selection step for shared-mode interactive jobs.
+	AgentRegistryCost time.Duration
+	// AgentDegree is the multiprogramming degree of launched agents:
+	// the number of interactive VMs each creates (default 1, the
+	// paper's two-VM configuration; Section 5.2 discusses larger
+	// degrees as an extension).
+	AgentDegree int
+}
+
+func (c *Config) setDefaults() {
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 30 * time.Second
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 10 * time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 30 * time.Second
+	}
+	if c.AgentRegistryCost <= 0 {
+		c.AgentRegistryCost = 50 * time.Millisecond
+	}
+	if c.AgentDegree <= 0 {
+		c.AgentDegree = 1
+	}
+}
+
+// State is a submission's lifecycle state.
+type State int
+
+// Submission states.
+const (
+	Pending State = iota
+	Matching
+	Submitted
+	Running
+	Done
+	Failed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Matching:
+		return "matching"
+	case Submitted:
+		return "submitted"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Failed:
+		return "failed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Phases records the duration of each Table I step.
+type Phases struct {
+	// Discovery is the information-system query time.
+	Discovery time.Duration
+	// Selection is the site filtering/ranking time, including direct
+	// site queries.
+	Selection time.Duration
+	// Submission is the response time: from final submission to the
+	// first output arriving at the user machine.
+	Submission time.Duration
+}
+
+// RunContext is passed to a job body.
+type RunContext struct {
+	// Sim is the simulation clock.
+	Sim *simclock.Sim
+	// Slots are the CPU slots allocated to the job, one per node.
+	Slots []*vmslot.Slot
+	// Output models sending n bytes of output to the user machine: it
+	// sleeps the transfer time and fires the handle's FirstOutput on
+	// first use.
+	Output func(n int)
+	// Input models reading n bytes forwarded from the user machine
+	// (one round trip of latency).
+	Input func(n int)
+}
+
+// Body is a job's execution body, run as a simulation process once
+// per job (not per node).
+type Body func(rc *RunContext)
+
+// Request is a submission to the broker.
+type Request struct {
+	// Job is the parsed job description.
+	Job *jdl.Job
+	// User is the submitting identity (from the GSI credential).
+	User string
+	// CPU is the per-node CPU demand used by the default body (and by
+	// batch payloads).
+	CPU time.Duration
+	// Body optionally replaces the default job body (interactive
+	// jobs); it runs once the job's nodes are allocated.
+	Body Body
+}
+
+// Handle tracks one submission.
+type Handle struct {
+	// ID is the broker-assigned job identifier.
+	ID string
+	// Phases holds the measured phase durations.
+	Phases Phases
+	// FirstOutput fires when the job's first output reaches the user.
+	FirstOutput *simclock.Trigger
+	// Done fires when the job finishes (successfully or not).
+	Done *simclock.Trigger
+
+	state   State
+	err     error
+	site    string
+	shared  bool
+	resub   int
+	request Request
+
+	submittedAt time.Time
+	finishedAt  time.Time
+}
+
+// State returns the current lifecycle state.
+func (h *Handle) State() State { return h.state }
+
+// Err returns the failure cause once the handle is Failed.
+func (h *Handle) Err() error { return h.err }
+
+// Site returns the name of the site the job ran on (or "agents" for a
+// multi-agent shared placement).
+func (h *Handle) Site() string { return h.site }
+
+// Shared reports whether the job ran on an interactive VM.
+func (h *Handle) Shared() bool { return h.shared }
+
+// Resubmissions reports how many times on-line scheduling moved the
+// job.
+func (h *Handle) Resubmissions() int { return h.resub }
+
+// SubmittedAt returns the virtual time the job entered the broker.
+func (h *Handle) SubmittedAt() time.Time { return h.submittedAt }
+
+// FinishedAt returns the virtual time the job reached Done or Failed
+// (zero while in flight).
+func (h *Handle) FinishedAt() time.Time { return h.finishedAt }
+
+// Turnaround is the total virtual time from submission to completion
+// (zero while in flight).
+func (h *Handle) Turnaround() time.Duration {
+	if h.finishedAt.IsZero() {
+		return 0
+	}
+	return h.finishedAt.Sub(h.submittedAt)
+}
+
+// Broker is the CrossBroker.
+type Broker struct {
+	cfg Config
+	sim *simclock.Sim
+	rng *rand.Rand
+
+	sites      map[string]*site.Site
+	agents     map[string]*glidein.Agent
+	agentSites map[*glidein.Agent]*site.Site
+	leases     map[string][]time.Time // site -> per-CPU lease expiries
+
+	pendingBatch []*Handle
+	seq          int
+	dispatching  bool
+}
+
+// New creates a broker.
+func New(cfg Config) *Broker {
+	cfg.setDefaults()
+	if cfg.Sim == nil {
+		panic("broker: Config.Sim is required")
+	}
+	return &Broker{
+		cfg:        cfg,
+		sim:        cfg.Sim,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		sites:      make(map[string]*site.Site),
+		agents:     make(map[string]*glidein.Agent),
+		agentSites: make(map[*glidein.Agent]*site.Site),
+		leases:     make(map[string][]time.Time),
+	}
+}
+
+// RegisterSite makes a site available for scheduling and starts its
+// information-system publishing.
+func (b *Broker) RegisterSite(st *site.Site) {
+	b.sites[st.Name()] = st
+	if b.cfg.Info != nil {
+		st.StartPublishing(b.cfg.Info)
+	}
+	if b.cfg.Fair != nil {
+		total := 0
+		for _, s := range b.sites {
+			total += len(s.Queue().Nodes())
+		}
+		b.cfg.Fair.SetTotal(total)
+	}
+}
+
+// FreeAgents reports how many registered agents have a free
+// interactive VM.
+func (b *Broker) FreeAgents() int {
+	n := 0
+	for _, a := range b.agents {
+		if a.Free() {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeInteractiveVMs reports the total free interactive VM count
+// across registered agents (differs from FreeAgents when the
+// multiprogramming degree exceeds one).
+func (b *Broker) FreeInteractiveVMs() int {
+	n := 0
+	for _, a := range b.agents {
+		n += a.FreeSlots()
+	}
+	return n
+}
+
+// PendingBatch reports broker-queued batch jobs waiting for resources.
+func (b *Broker) PendingBatch() int { return len(b.pendingBatch) }
+
+// Submit schedules a job. It may be called from any context; the
+// entire flow runs as simulation processes. The returned handle's
+// triggers report progress.
+func (b *Broker) Submit(req Request) (*Handle, error) {
+	if req.Job == nil {
+		return nil, fmt.Errorf("broker: request without job")
+	}
+	if err := req.Job.Validate(); err != nil {
+		return nil, err
+	}
+	if req.User == "" {
+		req.User = "anonymous"
+	}
+	b.seq++
+	h := &Handle{
+		ID:          fmt.Sprintf("cb-%06d", b.seq),
+		FirstOutput: b.sim.NewTrigger(),
+		Done:        b.sim.NewTrigger(),
+		state:       Pending,
+		request:     req,
+		submittedAt: b.sim.Now(),
+	}
+	b.sim.Go(func() { b.route(h) })
+	return h, nil
+}
+
+// route picks the scheduling path per job type (Figure 5).
+func (b *Broker) route(h *Handle) {
+	job := h.request.Job
+	switch {
+	case !job.Interactive:
+		b.runBatch(h)
+	case job.Access == jdl.SharedAccess:
+		b.runInteractiveShared(h)
+	default:
+		b.runInteractiveExclusive(h)
+	}
+}
+
+func (b *Broker) fail(h *Handle, err error) {
+	h.state = Failed
+	h.err = err
+	h.finishedAt = b.sim.Now()
+	h.Done.Fire()
+}
+
+func (b *Broker) finish(h *Handle) {
+	h.state = Done
+	h.finishedAt = b.sim.Now()
+	h.Done.Fire()
+	b.kickDispatch()
+}

@@ -1,0 +1,207 @@
+package broker
+
+import (
+	"sort"
+	"time"
+
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+)
+
+// candidate is one matched site with fresh state.
+type candidate struct {
+	site   *site.Site
+	free   int // effective free CPUs (after leases)
+	queued int
+	rank   float64
+	noise  float64 // randomized tie-break
+}
+
+// discover queries the information system, recording the discovery
+// phase on h. Must run in a simulation process.
+func (b *Broker) discover(h *Handle) []infosys.SiteRecord {
+	h.state = Matching
+	start := b.sim.Now()
+	var recs []infosys.SiteRecord
+	if b.cfg.Info != nil {
+		recs = b.cfg.Info.Query()
+	} else {
+		for _, s := range b.sites {
+			recs = append(recs, s.Record())
+		}
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	}
+	h.Phases.Discovery = b.sim.Since(start)
+	return recs
+}
+
+// selection filters records against the job's Requirements, contacts
+// each surviving site directly for up-to-date queue state, applies
+// leases, ranks (job Rank expression or free CPUs), and orders
+// candidates best first with randomized tie-breaking. The selection
+// phase duration is recorded on h. Must run in a simulation process.
+func (b *Broker) selection(h *Handle, recs []infosys.SiteRecord, excluded map[string]bool) []candidate {
+	start := b.sim.Now()
+	defer func() { h.Phases.Selection += b.sim.Since(start) }()
+
+	job := h.request.Job
+	var cands []candidate
+	for _, rec := range recs {
+		if excluded[rec.Name] {
+			continue
+		}
+		st, ok := b.sites[rec.Name]
+		if !ok {
+			continue // stale record for an unregistered site
+		}
+		if job.Requirements != nil {
+			ok, err := job.Requirements.EvalBool(rec.MatchAttrs())
+			if err != nil || !ok {
+				continue
+			}
+		}
+		// "Information may not be completely accurate ... CrossBroker
+		// contacts each remote site individually and gets the most
+		// updated information about the state of their local queues."
+		free, queued := st.QueryState()
+		free -= b.activeLeases(rec.Name)
+		if free < 0 {
+			free = 0
+		}
+		c := candidate{site: st, free: free, queued: queued, noise: b.rng.Float64()}
+		if b.cfg.Deterministic {
+			c.noise = float64(len(cands)) // stable record order
+		}
+		if job.Rank != nil {
+			attrs := rec.MatchAttrs()
+			attrs["FreeCPUs"] = free
+			attrs["QueuedJobs"] = queued
+			if r, err := job.Rank.EvalNumber(attrs); err == nil {
+				c.rank = r
+			}
+		} else {
+			c.rank = float64(free)
+		}
+		cands = append(cands, c)
+	}
+	// Best rank first; equal ranks in random order (the paper's
+	// randomized selection "to generate different answers when there
+	// are multiple resource choices").
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].rank != cands[j].rank {
+			return cands[i].rank > cands[j].rank
+		}
+		return cands[i].noise < cands[j].noise
+	})
+	return cands
+}
+
+// activeLeases counts unexpired leases for a site, pruning expired
+// ones.
+func (b *Broker) activeLeases(name string) int {
+	now := b.sim.Now()
+	ls := b.leases[name]
+	live := ls[:0]
+	for _, exp := range ls {
+		if exp.After(now) {
+			live = append(live, exp)
+		}
+	}
+	b.leases[name] = live
+	return len(live)
+}
+
+// lease reserves n CPUs on a site for the exclusive-temporal-access
+// window.
+func (b *Broker) lease(name string, n int) {
+	exp := b.sim.Now().Add(b.cfg.LeaseDuration)
+	for i := 0; i < n; i++ {
+		b.leases[name] = append(b.leases[name], exp)
+	}
+}
+
+// unlease releases n leases on a site (the job started or failed).
+func (b *Broker) unlease(name string, n int) {
+	ls := b.leases[name]
+	if n >= len(ls) {
+		b.leases[name] = ls[:0]
+		return
+	}
+	b.leases[name] = ls[:len(ls)-n]
+}
+
+// admissionOK applies the fair-share rejection rule when resources are
+// insufficient.
+func (b *Broker) admissionOK(user string) bool {
+	if b.cfg.Fair == nil || b.cfg.RejectAbove <= 0 {
+		return true
+	}
+	return b.cfg.Fair.Priority(user) <= b.cfg.RejectAbove
+}
+
+// account registers a fair-share allocation for a started job.
+func (b *Broker) account(h *Handle, cpus int) {
+	if b.cfg.Fair == nil {
+		return
+	}
+	job := h.request.Job
+	class := fairshareClass(job)
+	b.cfg.Fair.Allocate(h.ID, h.request.User, cpus, class, job.PerformanceLoss)
+}
+
+// release drops the fair-share allocation when the job ends.
+func (b *Broker) release(h *Handle) {
+	if b.cfg.Fair != nil {
+		b.cfg.Fair.Release(h.ID)
+	}
+}
+
+// kickDispatch schedules a broker-queue pass (batch jobs waiting for
+// resources).
+func (b *Broker) kickDispatch() {
+	if b.dispatching || len(b.pendingBatch) == 0 {
+		return
+	}
+	b.dispatching = true
+	b.sim.AfterFunc(0, func() {
+		b.dispatching = false
+		b.dispatchPending()
+	})
+}
+
+// dispatchPending retries queued batch jobs, best fair-share priority
+// first.
+func (b *Broker) dispatchPending() {
+	if len(b.pendingBatch) == 0 {
+		return
+	}
+	queue := b.pendingBatch
+	b.pendingBatch = nil
+	if b.cfg.Fair != nil {
+		sort.SliceStable(queue, func(i, j int) bool {
+			return b.cfg.Fair.Priority(queue[i].request.User) < b.cfg.Fair.Priority(queue[j].request.User)
+		})
+	}
+	for _, h := range queue {
+		h := h
+		b.sim.Go(func() { b.runBatch(h) })
+	}
+}
+
+// scheduleRetry re-queues a batch job and arranges a future dispatch.
+func (b *Broker) scheduleRetry(h *Handle) {
+	b.pendingBatch = append(b.pendingBatch, h)
+	b.sim.AfterFunc(b.cfg.RetryInterval, b.kickDispatch)
+}
+
+// waitTrigger waits for t up to d, reporting whether it fired. Must
+// run in a simulation process.
+func (b *Broker) waitTrigger(t *simclock.Trigger, d time.Duration) bool {
+	w := b.sim.NewTrigger()
+	timer := b.sim.AfterFunc(d, w.Fire)
+	t.OnFire(w.Fire)
+	w.Wait()
+	timer.Stop()
+	return t.Fired()
+}

@@ -1,0 +1,480 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+
+	"crossbroker/internal/batch"
+	"crossbroker/internal/fairshare"
+	"crossbroker/internal/glidein"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+	"crossbroker/internal/vmslot"
+)
+
+// fairshareClass maps a job to its accounting class.
+func fairshareClass(job *jdl.Job) fairshare.Class {
+	if job.Interactive {
+		return fairshare.InteractiveClass
+	}
+	return fairshare.BatchClass
+}
+
+// interactiveTickets matches glidein's interactive share.
+const interactiveTickets = 100
+
+// defaultFirstOutputBytes is the size of the synthetic first output
+// used when a request supplies no body.
+const defaultFirstOutputBytes = 64
+
+// makeRunContext builds the body context for a job running on slots
+// reached over the given network profile.
+func (b *Broker) makeRunContext(h *Handle, st *site.Site, slots []*vmslot.Slot) *RunContext {
+	return &RunContext{
+		Sim:   b.sim,
+		Slots: slots,
+		Output: func(n int) {
+			b.sim.Sleep(st.Network().TransferTime(n))
+			h.FirstOutput.Fire()
+		},
+		Input: func(n int) {
+			b.sim.Sleep(st.Network().RTT() + st.Network().TransferTime(n))
+		},
+	}
+}
+
+// runBody executes the request's body (or the default: emit first
+// output, then burn the requested CPU on every node in parallel).
+func (b *Broker) runBody(h *Handle, rc *RunContext) {
+	if h.request.Body != nil {
+		h.request.Body(rc)
+		return
+	}
+	rc.Output(defaultFirstOutputBytes)
+	if h.request.CPU <= 0 {
+		return
+	}
+	done := b.sim.NewTrigger()
+	remaining := len(rc.Slots)
+	for _, s := range rc.Slots {
+		t := s.Start(h.request.CPU)
+		t.OnFire(func() {
+			remaining--
+			if remaining == 0 {
+				done.Fire()
+			}
+		})
+	}
+	done.Wait()
+}
+
+// ---------------------------------------------------------------------
+// Scenario 1 (Figure 5, arrow 1/2): sequential batch job, submitted
+// together with a glide-in agent; queued in the CrossBroker when the
+// grid is saturated.
+// ---------------------------------------------------------------------
+
+func (b *Broker) runBatch(h *Handle) {
+	job := h.request.Job
+	recs := b.discover(h)
+	if len(recs) == 0 {
+		b.fail(h, ErrNoMatch)
+		return
+	}
+	cands := b.selection(h, recs, nil)
+	if len(cands) == 0 {
+		b.fail(h, ErrNoMatch)
+		return
+	}
+
+	// Prefer a site with an idle machine; otherwise one with queue
+	// space; otherwise hold the job in the CrossBroker (arrow 2).
+	var chosen *candidate
+	for i := range cands {
+		if cands[i].free >= job.NodeNumber {
+			chosen = &cands[i]
+			break
+		}
+	}
+	if chosen == nil {
+		for i := range cands {
+			if cands[i].queued < cands[i].site.QueueSlots() {
+				chosen = &cands[i]
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		if !b.admissionOK(h.request.User) {
+			b.fail(h, ErrRejected)
+			return
+		}
+		b.scheduleRetry(h)
+		return
+	}
+
+	st := chosen.site
+	b.lease(st.Name(), job.NodeNumber)
+	h.state = Submitted
+	h.site = st.Name()
+	subStart := b.sim.Now()
+	h.FirstOutput.OnFire(func() { h.Phases.Submission = b.sim.Since(subStart) })
+
+	if job.NodeNumber > 1 {
+		// Parallel batch jobs go through the gatekeeper without an
+		// agent (the multi-programming scheme targets single nodes).
+		b.runExclusiveOn(h, st)
+		return
+	}
+
+	payload := &glidein.BatchPayload{ID: h.ID, Owner: h.request.User, Work: h.request.CPU}
+	agent, bh, err := glidein.LaunchWithOptions(b.sim, st, payload, 0,
+		glidein.Options{Degree: b.cfg.AgentDegree})
+	if err != nil {
+		b.unlease(st.Name(), 1)
+		b.fail(h, fmt.Errorf("broker: agent launch on %s: %w", st.Name(), err))
+		return
+	}
+	b.wireAgent(agent, st)
+
+	bh.Started.OnFire(func() {
+		b.unlease(st.Name(), 1)
+		b.account(h, 1)
+		h.state = Running
+		// First output of the payload: startup then transfer.
+		b.sim.Go(func() {
+			b.sim.Sleep(st.Costs().JobStartup + st.Network().TransferTime(defaultFirstOutputBytes))
+			h.FirstOutput.Fire()
+		})
+	})
+
+	// Wait for the payload to finish; if the agent is evicted first,
+	// resubmit ("new agents will be submitted when possible").
+	w := b.sim.NewTrigger()
+	agent.BatchDone().OnFire(w.Fire)
+	agent.Released().OnFire(w.Fire)
+	w.Wait()
+	if agent.BatchDone().Fired() {
+		b.release(h)
+		b.finish(h)
+		return
+	}
+	// Evicted.
+	b.release(h)
+	h.resub++
+	h.state = Pending
+	b.scheduleRetry(h)
+	b.kickDispatch()
+}
+
+// wireAgent registers a live agent in the broker's local registry and
+// hooks fair-share reclassification and availability callbacks.
+func (b *Broker) wireAgent(agent *glidein.Agent, st *site.Site) {
+	b.agentSites[agent] = st
+	b.agents[agent.ID()] = agent
+	if b.cfg.Fair != nil {
+		agent.OnYield = func(batchID string, pl int) {
+			b.cfg.Fair.Reclass(batchID, fairshare.YieldedBatchClass, pl)
+		}
+		agent.OnRestore = func(batchID string) {
+			b.cfg.Fair.Reclass(batchID, fairshare.BatchClass, 0)
+		}
+	}
+	agent.OnFree = func(*glidein.Agent) { b.kickDispatch() }
+	agent.Released().OnFire(func() {
+		delete(b.agents, agent.ID())
+		delete(b.agentSites, agent)
+		b.kickDispatch()
+	})
+}
+
+// ---------------------------------------------------------------------
+// Scenario 2 (Figure 5, arrow 3): interactive job in exclusive mode —
+// a free machine through the gatekeeper, with on-line scheduling
+// (kill-and-resubmit if the job sits in a remote queue).
+// ---------------------------------------------------------------------
+
+func (b *Broker) runInteractiveExclusive(h *Handle) {
+	job := h.request.Job
+	recs := b.discover(h)
+	cands := b.selection(h, recs, nil)
+	if len(cands) == 0 {
+		b.fail(h, ErrNoMatch)
+		return
+	}
+
+	subStart := b.sim.Now()
+	h.FirstOutput.OnFire(func() { h.Phases.Submission = b.sim.Since(subStart) })
+
+	excluded := make(map[string]bool)
+	anyFree := false
+	for attempt := 0; attempt < len(cands); attempt++ {
+		var chosen *candidate
+		for i := range cands {
+			if !excluded[cands[i].site.Name()] && cands[i].free >= job.NodeNumber {
+				chosen = &cands[i]
+				break
+			}
+		}
+		if chosen == nil {
+			break
+		}
+		anyFree = true
+		if b.runExclusiveAttempt(h, chosen.site) {
+			return
+		}
+		excluded[chosen.site.Name()] = true
+	}
+	if !anyFree && !b.admissionOK(h.request.User) {
+		b.fail(h, ErrRejected)
+		return
+	}
+	b.fail(h, ErrNoResources)
+}
+
+// runExclusiveAttempt submits the job to one site and enforces the
+// on-line scheduling rule. It reports whether the job was placed (and
+// then runs it to completion).
+func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
+	job := h.request.Job
+	b.lease(st.Name(), job.NodeNumber)
+	defer b.unlease(st.Name(), job.NodeNumber)
+	h.state = Submitted
+
+	bodyDone := b.sim.NewTrigger()
+	req := batch.Request{
+		ID:       h.ID + fmt.Sprintf(".%d", h.resub),
+		Owner:    h.request.User,
+		Nodes:    job.NodeNumber,
+		Priority: 10, // interactive jobs ahead of local batch work
+		Run:      b.exclusiveBody(h, st, bodyDone),
+	}
+	bh, err := st.Submit(req, site.SubmitOptions{})
+	if err != nil {
+		return false
+	}
+	// "The scheduler attempts to run each interactive job immediately.
+	// If the job enters a queue rather than immediately starting
+	// execution, it will be resubmitted to any other resource."
+	if !b.waitTrigger(bh.Started, b.cfg.QueueTimeout) {
+		st.Queue().Kill(bh.ID())
+		h.resub++
+		return false
+	}
+	h.state = Running
+	h.site = st.Name()
+	b.account(h, job.NodeNumber)
+	bodyDone.Wait()
+	b.release(h)
+	b.finish(h)
+	return true
+}
+
+// runExclusiveOn is the no-retry variant used for parallel batch jobs.
+func (b *Broker) runExclusiveOn(h *Handle, st *site.Site) {
+	job := h.request.Job
+	bodyDone := b.sim.NewTrigger()
+	req := batch.Request{
+		ID:    h.ID,
+		Owner: h.request.User,
+		Nodes: job.NodeNumber,
+		Run:   b.exclusiveBody(h, st, bodyDone),
+	}
+	bh, err := st.Submit(req, site.SubmitOptions{})
+	b.unlease(st.Name(), job.NodeNumber)
+	if err != nil {
+		b.fail(h, err)
+		return
+	}
+	bh.Started.OnFire(func() {
+		h.state = Running
+		b.account(h, job.NodeNumber)
+	})
+	h.site = st.Name()
+	bodyDone.Wait()
+	b.release(h)
+	b.finish(h)
+}
+
+// exclusiveBody wraps the job body for gatekeeper-path execution: one
+// full-share slot per allocated node, startup cost, then the body.
+func (b *Broker) exclusiveBody(h *Handle, st *site.Site, bodyDone interface{ Fire() }) func(*batch.ExecCtx) {
+	return func(ctx *batch.ExecCtx) {
+		slots := make([]*vmslot.Slot, len(ctx.Nodes))
+		for i, n := range ctx.Nodes {
+			slots[i] = n.CPU.NewSlot(h.ID, interactiveTickets)
+		}
+		b.sim.Sleep(st.Costs().JobStartup)
+		rc := b.makeRunContext(h, st, slots)
+		b.runBody(h, rc)
+		for _, s := range slots {
+			s.Close()
+		}
+		bodyDone.Fire()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Scenario 3 (Figure 5, arrow 4): interactive job in shared mode —
+// the broker's local agent registry supplies interactive VMs
+// immediately; missing VMs are filled by launching fresh agents on
+// idle machines; the submission fails if the grid cannot host it
+// (interactive jobs never preempt interactive jobs).
+// ---------------------------------------------------------------------
+
+func (b *Broker) runInteractiveShared(h *Handle) {
+	job := h.request.Job
+
+	// Combined discovery+selection over the local registry.
+	start := b.sim.Now()
+	b.sim.Sleep(b.cfg.AgentRegistryCost)
+	free := b.freeAgentsMatching(job)
+	h.Phases.Selection = b.sim.Since(start)
+
+	subStart := b.sim.Now()
+	h.FirstOutput.OnFire(func() { h.Phases.Submission = b.sim.Since(subStart) })
+
+	need := job.NodeNumber
+	// Expand each free agent by its free interactive VM count: with a
+	// multiprogramming degree above one, several subjobs may share a
+	// node.
+	var chosen []*glidein.Agent
+	for _, a := range free {
+		for k := 0; k < a.FreeSlots() && len(chosen) < need; k++ {
+			chosen = append(chosen, a)
+		}
+		if len(chosen) == need {
+			break
+		}
+	}
+
+	// Fill the shortfall with fresh agents on idle machines, "in a
+	// similar way to the case of a batch job".
+	if len(chosen) < need {
+		recs := b.discover(h)
+		cands := b.selection(h, recs, nil)
+		for i := range cands {
+			for len(chosen) < need && cands[i].free > 0 {
+				agent, bh, err := glidein.LaunchWithOptions(b.sim, cands[i].site, nil, 10,
+					glidein.Options{Degree: b.cfg.AgentDegree})
+				if err != nil {
+					break
+				}
+				b.wireAgent(agent, cands[i].site)
+				if !b.waitTrigger(agent.Ready(), b.cfg.QueueTimeout) {
+					cands[i].site.Queue().Kill(bh.ID())
+					break
+				}
+				cands[i].free--
+				for k := 0; k < agent.FreeSlots() && len(chosen) < need; k++ {
+					chosen = append(chosen, agent)
+				}
+			}
+			if len(chosen) == need {
+				break
+			}
+		}
+	}
+
+	if len(chosen) < need {
+		if !b.admissionOK(h.request.User) {
+			b.fail(h, ErrRejected)
+			return
+		}
+		b.fail(h, ErrNoResources)
+		return
+	}
+
+	b.placeOnAgents(h, chosen)
+}
+
+// freeAgentsMatching returns free agents whose site satisfies the
+// job's Requirements, in randomized order.
+func (b *Broker) freeAgentsMatching(job *jdl.Job) []*glidein.Agent {
+	var out []*glidein.Agent
+	for _, a := range b.agents {
+		if !a.Free() {
+			continue
+		}
+		st := b.agentSites[a]
+		if st == nil {
+			continue
+		}
+		if job.Requirements != nil {
+			ok, err := job.Requirements.EvalBool(st.Record().MatchAttrs())
+			if err != nil || !ok {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	// Deterministic base order (map iteration is random in Go but not
+	// seeded), then the broker's seeded shuffle.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	if !b.cfg.Deterministic {
+		b.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	}
+	return out
+}
+
+// placeOnAgents runs the job across the chosen interactive VMs.
+func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) {
+	job := h.request.Job
+	st := b.agentSites[agents[0]]
+	h.site = st.Name()
+	if len(agents) > 1 {
+		h.site = "agents"
+	}
+	h.shared = true
+
+	// The broker still stages input files to the VM, dispatches the
+	// job over its direct agent channel, and the agent sets it up on
+	// the interactive VM — but the gatekeeper, GRAM and the local
+	// queue are skipped entirely.
+	b.sim.Sleep(st.Costs().Stage + st.Network().RTT() + st.Costs().VMDispatch)
+
+	slots := make([]*vmslot.Slot, len(agents))
+	jobDone := b.sim.NewTrigger() // body finished; placeholders release
+	var doneTs []*simclock.Trigger
+	placed := 0
+	allPlaced := b.sim.NewTrigger()
+
+	for i, a := range agents {
+		i := i
+		done, err := a.StartInteractive(glidein.InteractiveJob{
+			ID:              fmt.Sprintf("%s#%d", h.ID, i),
+			Owner:           h.request.User,
+			PerformanceLoss: job.PerformanceLoss,
+			Run: func(ctx *glidein.InteractiveContext) {
+				slots[i] = ctx.Slot
+				placed++
+				if placed == len(agents) {
+					allPlaced.Fire()
+				}
+				jobDone.Wait()
+			},
+		})
+		if err != nil {
+			// Registry race: someone took the VM. Treat as failure.
+			jobDone.Fire()
+			b.fail(h, ErrNoResources)
+			return
+		}
+		doneTs = append(doneTs, done)
+	}
+
+	allPlaced.Wait()
+	h.state = Running
+	b.account(h, len(agents))
+
+	b.sim.Sleep(st.Costs().JobStartup)
+	rc := b.makeRunContext(h, st, slots)
+	b.runBody(h, rc)
+	jobDone.Fire()
+	for _, t := range doneTs {
+		t.Wait()
+	}
+	b.release(h)
+	b.finish(h)
+}

@@ -1,0 +1,91 @@
+package console
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"crossbroker/internal/interpose"
+	"crossbroker/internal/jdl"
+)
+
+// TestReliableNoLossProperty is the package's core invariant under
+// randomized failure injection: whatever the outage schedule, reliable
+// mode delivers the application's entire output to the user — every
+// byte, in order, exactly once.
+func TestReliableNoLossProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized real-time property")
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+
+			const lines = 40
+			var want strings.Builder
+			for i := 0; i < lines; i++ {
+				fmt.Fprintf(&want, "line %03d %0*d\n", i, 1+rng.Intn(60), i)
+			}
+			payload := want.String()
+
+			app := func(stdin io.Reader, stdout, stderr io.Writer) error {
+				rest := payload
+				appRng := rand.New(rand.NewSource(seed * 77))
+				for len(rest) > 0 {
+					n := 1 + appRng.Intn(80)
+					if n > len(rest) {
+						n = len(rest)
+					}
+					if _, err := io.WriteString(stdout, rest[:n]); err != nil {
+						return err
+					}
+					rest = rest[n:]
+					time.Sleep(time.Duration(appRng.Intn(4)) * time.Millisecond)
+				}
+				return nil
+			}
+
+			s := startSession(t, jdl.ReliableStreaming, []interpose.AppFunc{app}, nil)
+
+			// Random outage schedule: 2-4 cuts of 10-60 ms at random
+			// offsets while the app is writing.
+			go func() {
+				cuts := 2 + rng.Intn(3)
+				for c := 0; c < cuts; c++ {
+					time.Sleep(time.Duration(5+rng.Intn(40)) * time.Millisecond)
+					s.nw.SetDown(true)
+					time.Sleep(time.Duration(10+rng.Intn(50)) * time.Millisecond)
+					s.nw.SetDown(false)
+				}
+			}()
+
+			if err := s.agents[0].Wait(); err != nil {
+				t.Fatalf("agent: %v", err)
+			}
+			if !s.shadow.Wait(20 * time.Second) {
+				t.Fatal("shadow did not complete")
+			}
+			if got := s.out.String(); got != payload {
+				t.Fatalf("delivery violated exactly-once/in-order:\n got %d bytes\nwant %d bytes\nfirst divergence at %d",
+					len(got), len(payload), firstDiff(got, payload))
+			}
+		})
+	}
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

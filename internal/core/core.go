@@ -1,0 +1,140 @@
+// Package core assembles the complete CrossGrid job-management stack
+// described by the paper into two ready-to-use entry points:
+//
+//   - System: a virtual-time grid — sites with gatekeepers and local
+//     batch queues, a Globus-MDS-like information service, fair-share
+//     accounting, glide-in agents and the CrossBroker — for
+//     scheduling studies and the Table I experiment.
+//   - Session: a real-time interactive session — an unmodified
+//     application under interposition, a Console Agent per subjob, a
+//     Console Shadow on the user side, GSI-secured channels over a
+//     shaped network — for the interactivity path of Figures 6/7.
+//
+// Examples and command-line tools build exclusively on this package.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"crossbroker/internal/broker"
+	"crossbroker/internal/fairshare"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+)
+
+// SiteSpec describes one site of a simulated grid.
+type SiteSpec struct {
+	// Name is the site name (unique).
+	Name string
+	// Nodes is the worker-node count.
+	Nodes int
+	// WideArea places the site across the WAN instead of the campus
+	// network.
+	WideArea bool
+	// Attrs optionally overrides the matchmaking attributes.
+	Attrs map[string]any
+}
+
+// SystemConfig configures a simulated grid.
+type SystemConfig struct {
+	// Sites lists the grid sites; an empty list creates a default
+	// 4-site campus grid with 4 nodes each.
+	Sites []SiteSpec
+	// InfoLatency is the one-way latency to the information index
+	// (default 250 ms, the paper's index lived in Germany).
+	InfoLatency time.Duration
+	// Seed drives randomized selection.
+	Seed int64
+	// Broker optionally tunes the broker beyond defaults; Sim, Info
+	// and Fair are filled in by NewSystem.
+	Broker broker.Config
+	// FairShare tunes the priority scheme (zero values use defaults).
+	FairShare fairshare.Config
+}
+
+// System is an assembled virtual-time grid.
+type System struct {
+	// Sim is the simulation clock; advance it with Run/Step.
+	Sim *simclock.Sim
+	// Info is the information service.
+	Info *infosys.Service
+	// Fair is the fair-share manager (already started).
+	Fair *fairshare.Manager
+	// Broker is the CrossBroker.
+	Broker *broker.Broker
+	// Sites are the grid sites, in specification order.
+	Sites []*site.Site
+}
+
+// NewSystem builds a grid per cfg.
+func NewSystem(cfg SystemConfig) *System {
+	if len(cfg.Sites) == 0 {
+		for i := 0; i < 4; i++ {
+			cfg.Sites = append(cfg.Sites, SiteSpec{Name: fmt.Sprintf("site%02d", i), Nodes: 4})
+		}
+	}
+	if cfg.InfoLatency <= 0 {
+		cfg.InfoLatency = 250 * time.Millisecond
+	}
+	sim := simclock.NewSim(time.Time{})
+	info := infosys.New(sim, cfg.InfoLatency)
+	fair := fairshare.New(sim, cfg.FairShare)
+	fair.Start()
+
+	bcfg := cfg.Broker
+	bcfg.Sim = sim
+	bcfg.Info = info
+	bcfg.Fair = fair
+	bcfg.Seed = cfg.Seed
+	b := broker.New(bcfg)
+
+	sys := &System{Sim: sim, Info: info, Fair: fair, Broker: b}
+	for _, spec := range cfg.Sites {
+		profile := netsim.CampusGrid()
+		if spec.WideArea {
+			profile = netsim.WideArea()
+		}
+		st := site.New(sim, site.Config{
+			Name:    spec.Name,
+			Nodes:   spec.Nodes,
+			Network: profile,
+			Costs:   site.DefaultCosts(),
+			Attrs:   spec.Attrs,
+		})
+		b.RegisterSite(st)
+		sys.Sites = append(sys.Sites, st)
+	}
+	return sys
+}
+
+// SubmitJDL parses a JDL document and submits the job for user,
+// modeling cpu of per-node CPU demand.
+func (s *System) SubmitJDL(src, user string, cpu time.Duration) (*broker.Handle, error) {
+	job, err := jdl.ParseJob(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Broker.Submit(broker.Request{Job: job, User: user, CPU: cpu})
+}
+
+// Submit forwards a fully built request to the broker.
+func (s *System) Submit(req broker.Request) (*broker.Handle, error) {
+	return s.Broker.Submit(req)
+}
+
+// Run advances the simulation by d.
+func (s *System) Run(d time.Duration) { s.Sim.RunFor(d) }
+
+// RunUntilDone advances the simulation until the handle completes or
+// maxSim elapses, reporting whether it completed.
+func (s *System) RunUntilDone(h *broker.Handle, maxSim time.Duration) bool {
+	deadline := s.Sim.Now().Add(maxSim)
+	for !h.Done.Fired() && s.Sim.Now().Before(deadline) {
+		s.Sim.RunFor(time.Second)
+	}
+	return h.Done.Fired()
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"crossbroker/internal/broker"
+	"crossbroker/internal/interpose"
+	"crossbroker/internal/jdl"
+)
+
+func TestSystemDefaultGrid(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	if len(sys.Sites) != 4 {
+		t.Fatalf("%d sites", len(sys.Sites))
+	}
+	if sys.Info.Len() != 4 {
+		t.Fatalf("info has %d records", sys.Info.Len())
+	}
+}
+
+func TestSystemSubmitJDLBatch(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	h, err := sys.SubmitJDL(`
+Executable = "simulation";
+JobType    = "batch";
+`, "/O=UAB/CN=enol", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RunUntilDone(h, time.Hour) {
+		t.Fatalf("job never finished: %v %v", h.State(), h.Err())
+	}
+	if h.State() != broker.Done {
+		t.Fatalf("state = %v err = %v", h.State(), h.Err())
+	}
+	// Fair share accounted and released.
+	if sys.Fair.Usage("/O=UAB/CN=enol") != 0 {
+		t.Fatal("usage not released")
+	}
+}
+
+func TestSystemInteractiveSharedAfterBatch(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	hb, err := sys.SubmitJDL(`Executable = "bg"; JobType = "batch";`, "batchowner", 2*time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2 * time.Minute)
+	if hb.State() != broker.Running {
+		t.Fatalf("batch not running: %v", hb.State())
+	}
+	hi, err := sys.SubmitJDL(`
+Executable      = "steering_app";
+JobType         = {"interactive", "sequential"};
+MachineAccess   = "shared";
+StreamingMode   = "reliable";
+PerformanceLoss = 10;
+`, "interowner", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.RunUntilDone(hi, time.Hour) {
+		t.Fatalf("interactive never finished: %v %v", hi.State(), hi.Err())
+	}
+	if !hi.Shared() {
+		t.Fatal("interactive job did not use a VM")
+	}
+}
+
+func TestSystemSubmitBadJDL(t *testing.T) {
+	sys := NewSystem(SystemConfig{})
+	if _, err := sys.SubmitJDL(`JobType = "batch";`, "u", 0); err == nil {
+		t.Fatal("invalid JDL accepted")
+	}
+}
+
+type syncBuf struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestSessionEndToEnd(t *testing.T) {
+	var out, errw syncBuf
+	stdinR, stdinW := io.Pipe()
+	sess, err := StartSession(SessionConfig{
+		Mode:          jdl.FastStreaming,
+		Stdin:         stdinR,
+		Stdout:        &out,
+		Stderr:        &errw,
+		SpillDir:      t.TempDir(),
+		FlushInterval: 5 * time.Millisecond,
+	}, []interpose.AppFunc{func(stdin io.Reader, stdout, stderr io.Writer) error {
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			fmt.Fprintf(stdout, "ok: %s\n", sc.Text())
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	io.WriteString(stdinW, "set temperature 42\n")
+	stdinW.Close()
+	if err := sess.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "ok: set temperature 42\n" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestSecureSessionAuthenticates(t *testing.T) {
+	var out syncBuf
+	sess, err := StartSession(SessionConfig{
+		Mode:          jdl.ReliableStreaming,
+		Stdout:        &out,
+		Stderr:        io.Discard,
+		SpillDir:      t.TempDir(),
+		Secure:        true,
+		User:          "/O=UAB/CN=elisa",
+		FlushInterval: 5 * time.Millisecond,
+	}, []interpose.AppFunc{func(stdin io.Reader, stdout, stderr io.Writer) error {
+		fmt.Fprintln(stdout, "secure output")
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "secure output") {
+		t.Fatalf("out = %q", out.String())
+	}
+	if sess.UserIdentity != "/O=UAB/CN=elisa" {
+		t.Fatalf("identity = %q (proxy delegation should resolve to the user)", sess.UserIdentity)
+	}
+}
+
+func TestSessionSurvivesOutageInReliableMode(t *testing.T) {
+	var out syncBuf
+	release := make(chan struct{})
+	sess, err := StartSession(SessionConfig{
+		Mode:          jdl.ReliableStreaming,
+		Stdout:        &out,
+		Stderr:        io.Discard,
+		SpillDir:      t.TempDir(),
+		RetryInterval: 20 * time.Millisecond,
+		MaxRetries:    200,
+		FlushInterval: 5 * time.Millisecond,
+	}, []interpose.AppFunc{func(stdin io.Reader, stdout, stderr io.Writer) error {
+		fmt.Fprintln(stdout, "first")
+		<-release
+		fmt.Fprintln(stdout, "second")
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), "first") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	sess.Net.SetDown(true)
+	close(release)
+	time.Sleep(50 * time.Millisecond)
+	sess.Net.SetDown(false)
+
+	if err := sess.Wait(15 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "first\nsecond\n" {
+		t.Fatalf("out = %q", got)
+	}
+}
+
+func TestSessionMultiSubjob(t *testing.T) {
+	var out syncBuf
+	apps := make([]interpose.AppFunc, 3)
+	for i := range apps {
+		rank := i
+		apps[i] = func(stdin io.Reader, stdout, stderr io.Writer) error {
+			fmt.Fprintf(stdout, "subjob %d\n", rank)
+			return nil
+		}
+	}
+	sess, err := StartSession(SessionConfig{
+		Mode:          jdl.FastStreaming,
+		Stdout:        &out,
+		Stderr:        io.Discard,
+		SpillDir:      t.TempDir(),
+		FlushInterval: 5 * time.Millisecond,
+	}, apps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(out.String(), fmt.Sprintf("subjob %d", i)) {
+			t.Fatalf("missing subjob %d in %q", i, out.String())
+		}
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	if _, err := StartSession(SessionConfig{}, nil); err == nil {
+		t.Fatal("empty session accepted")
+	}
+}
+
+func TestAuxSession(t *testing.T) {
+	var out syncBuf
+	var auxMu sync.Mutex
+	aux := map[int]string{}
+	sess, err := StartAuxSession(SessionConfig{
+		Mode:   jdl.ReliableStreaming,
+		Stdout: &out,
+		Stderr: io.Discard,
+		AuxSink: func(sub uint16, ch int, data []byte, eof bool) {
+			auxMu.Lock()
+			aux[ch] += string(data)
+			auxMu.Unlock()
+		},
+		SpillDir:      t.TempDir(),
+		FlushInterval: 5 * time.Millisecond,
+	}, 2, []interpose.AuxAppFunc{func(stdin io.Reader, stdout, stderr io.Writer, auxw []io.Writer) error {
+		fmt.Fprintln(stdout, "main output")
+		fmt.Fprintln(auxw[0], "monitoring sample")
+		fmt.Fprintln(auxw[1], "result record")
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if err := sess.Wait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		auxMu.Lock()
+		done := strings.Contains(aux[0], "monitoring") && strings.Contains(aux[1], "result")
+		auxMu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	auxMu.Lock()
+	defer auxMu.Unlock()
+	if aux[0] != "monitoring sample\n" || aux[1] != "result record\n" {
+		t.Fatalf("aux = %q / %q", aux[0], aux[1])
+	}
+	if out.String() != "main output\n" {
+		t.Fatalf("stdout = %q", out.String())
+	}
+}

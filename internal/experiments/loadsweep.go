@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crossbroker/internal/broker"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/metrics"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+)
+
+// LoadSweep quantifies the paper's central motivation (Sections 1 and
+// 5.2): on a batch-oriented grid, interactive work is locked out as
+// occupancy rises, while the multi-programming mechanism keeps
+// interactive jobs starting immediately — at a bounded, user-chosen
+// cost to the batch jobs ("The agent-based mechanism improves resource
+// availability for interactive jobs that will even be able to run
+// under the circumstances of high Grid-resource occupancy. On the
+// other hand, this has little impact on batch jobs").
+
+// LoadPoint is one (occupancy, policy) measurement.
+type LoadPoint struct {
+	// BatchLoad is the fraction of grid CPUs occupied by batch jobs.
+	BatchLoad float64
+	// Multiprogramming selects shared-mode placement (true) or
+	// exclusive-only (false, a conventional broker).
+	Multiprogramming bool
+	// Submitted, Succeeded and Failed count the interactive jobs.
+	Submitted, Succeeded, Failed int
+	// MeanStartup is the mean submission-to-first-output time of the
+	// successful interactive jobs, in seconds.
+	MeanStartup float64
+	// BatchSlowdownPct is the mean inflation of the batch jobs'
+	// completion time relative to the exclusive-only run at the same
+	// load, where no interactive job shares their nodes (0 when
+	// nothing shared, or at load 0).
+	BatchSlowdownPct float64
+
+	meanBatchElapsed float64
+}
+
+// LoadSweepConfig parametrizes the experiment.
+type LoadSweepConfig struct {
+	// Sites and NodesPerSite shape the grid (default 4x4).
+	Sites, NodesPerSite int
+	// Interactive is the number of interactive submissions per point
+	// (default 8), arriving 30 simulated seconds apart.
+	Interactive int
+	// PerformanceLoss is the shared-mode attribute (default 10).
+	PerformanceLoss int
+	// BatchWork is each batch job's CPU demand (default 2h).
+	BatchWork time.Duration
+	// Seed drives randomized selection.
+	Seed int64
+}
+
+func (c *LoadSweepConfig) setDefaults() {
+	if c.Sites <= 0 {
+		c.Sites = 4
+	}
+	if c.NodesPerSite <= 0 {
+		c.NodesPerSite = 4
+	}
+	if c.Interactive <= 0 {
+		c.Interactive = 8
+	}
+	if c.PerformanceLoss <= 0 {
+		c.PerformanceLoss = 10
+	}
+	if c.BatchWork <= 0 {
+		c.BatchWork = 2 * time.Hour
+	}
+}
+
+// LoadSweep measures each load level under both policies.
+func LoadSweep(loads []float64, cfg LoadSweepConfig) ([]LoadPoint, error) {
+	cfg.setDefaults()
+	if len(loads) == 0 {
+		loads = []float64{0, 0.5, 1.0}
+	}
+	var out []LoadPoint
+	for _, load := range loads {
+		excl, err := loadPoint(load, false, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: load %.2f exclusive: %w", load, err)
+		}
+		mp, err := loadPoint(load, true, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: load %.2f multiprogramming: %w", load, err)
+		}
+		// Batch slowdown: multiprogramming elapsed vs exclusive-only
+		// elapsed at the same load.
+		if excl.meanBatchElapsed > 0 {
+			mp.BatchSlowdownPct = (mp.meanBatchElapsed/excl.meanBatchElapsed - 1) * 100
+		}
+		out = append(out, excl, mp)
+	}
+	return out, nil
+}
+
+func loadPoint(load float64, mp bool, cfg LoadSweepConfig) (LoadPoint, error) {
+	p := LoadPoint{BatchLoad: load, Multiprogramming: mp}
+	sim := simclock.NewSim(time.Time{})
+	info := infosys.New(sim, 250*time.Millisecond)
+	b := broker.New(broker.Config{Sim: sim, Info: info, Seed: cfg.Seed})
+	for i := 0; i < cfg.Sites; i++ {
+		b.RegisterSite(site.New(sim, site.Config{
+			Name:     fmt.Sprintf("s%02d", i),
+			Nodes:    cfg.NodesPerSite,
+			Network:  netsim.CampusGrid(),
+			Costs:    site.DefaultCosts(),
+			LRMCycle: 2 * time.Second,
+		}))
+	}
+
+	// Occupy the grid with batch jobs (each holds one node via its
+	// agent), staggered so matchmaking sees prior placements. Each
+	// job's completion time is captured for the slowdown comparison.
+	totalCPUs := cfg.Sites * cfg.NodesPerSite
+	nBatch := int(load*float64(totalCPUs) + 0.5)
+	var batchHandles []*broker.Handle
+	for i := 0; i < nBatch; i++ {
+		h, err := b.Submit(broker.Request{
+			Job:  &jdl.Job{Executable: "batch", NodeNumber: 1},
+			User: fmt.Sprintf("batch%02d", i),
+			CPU:  cfg.BatchWork,
+		})
+		if err != nil {
+			return p, err
+		}
+		batchHandles = append(batchHandles, h)
+		sim.RunFor(45 * time.Second)
+	}
+	sim.RunFor(5 * time.Minute)
+
+	// Interactive arrivals, 30 s apart.
+	access := jdl.ExclusiveAccess
+	if mp {
+		access = jdl.SharedAccess
+	}
+	startup := metrics.NewSeries("startup")
+	var inter []*broker.Handle
+	for i := 0; i < cfg.Interactive; i++ {
+		h, err := b.Submit(broker.Request{
+			Job: &jdl.Job{Executable: "inter", Interactive: true, NodeNumber: 1,
+				Access: access, PerformanceLoss: pickPL(mp, cfg)},
+			User: fmt.Sprintf("user%02d", i),
+			CPU:  30 * time.Second,
+		})
+		if err != nil {
+			return p, err
+		}
+		inter = append(inter, h)
+		sim.RunFor(30 * time.Second)
+	}
+	sim.RunFor(30 * time.Minute)
+
+	p.Submitted = len(inter)
+	for _, h := range inter {
+		switch h.State() {
+		case broker.Done:
+			p.Succeeded++
+			startup.AddDuration(h.Phases.Submission)
+		default:
+			p.Failed++
+		}
+	}
+	if startup.Len() > 0 {
+		p.MeanStartup = startup.Summarize().Mean
+	}
+
+	// Run the grid until the batch jobs finish; their mean turnaround
+	// feeds the slowdown comparison against the exclusive-only run at
+	// the same load (where nothing shares their nodes).
+	sim.RunFor(cfg.BatchWork * 3)
+	batchElapsed := metrics.NewSeries("batch-turnaround")
+	for _, h := range batchHandles {
+		if h.State() == broker.Done {
+			batchElapsed.AddDuration(h.Turnaround())
+		}
+	}
+	if batchElapsed.Len() > 0 {
+		p.meanBatchElapsed = batchElapsed.Summarize().Mean
+	}
+	return p, nil
+}
+
+func pickPL(mp bool, cfg LoadSweepConfig) int {
+	if mp {
+		return cfg.PerformanceLoss
+	}
+	return 0
+}
+
+// RenderLoadSweep formats the sweep like a results table.
+func RenderLoadSweep(points []LoadPoint) string {
+	t := metrics.NewTable("Batch load", "Policy", "Interactive OK", "Failed",
+		"Mean startup (s)", "Batch slowdown")
+	for _, p := range points {
+		policy := "exclusive-only"
+		if p.Multiprogramming {
+			policy = "multiprogramming"
+		}
+		startup := "-"
+		if p.Succeeded > 0 {
+			startup = fmt.Sprintf("%.2f", p.MeanStartup)
+		}
+		slow := "-"
+		if p.Multiprogramming {
+			slow = fmt.Sprintf("%+.1f%%", p.BatchSlowdownPct)
+		}
+		t.AddRow(fmt.Sprintf("%.0f%%", p.BatchLoad*100), policy,
+			fmt.Sprintf("%d/%d", p.Succeeded, p.Submitted),
+			fmt.Sprintf("%d", p.Failed), startup, slow)
+	}
+	return t.String()
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"crossbroker/internal/broker"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/metrics"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+)
+
+// Scenario selects where the execution machine lives, per Section 6:
+// the campus grid or the IFCA center across the Spanish Internet.
+type Scenario string
+
+// The paper's two measurement scenarios.
+const (
+	Campus Scenario = "campus"
+	IFCA   Scenario = "ifca"
+)
+
+func (s Scenario) profile() netsim.Profile {
+	if s == IFCA {
+		return netsim.WideArea()
+	}
+	return netsim.CampusGrid()
+}
+
+// TableIConfig parametrizes the response-time experiment.
+type TableIConfig struct {
+	// Sites is the grid size during discovery/selection (the paper
+	// used a set of 20 remote sites located all over Europe).
+	Sites int
+	// Runs is the number of submissions per method (the paper used
+	// 100).
+	Runs int
+	// Scenario places the execution machine.
+	Scenario Scenario
+	// Seed drives the broker's randomized selection.
+	Seed int64
+}
+
+func (c *TableIConfig) setDefaults() {
+	if c.Sites <= 0 {
+		c.Sites = 20
+	}
+	if c.Runs <= 0 {
+		c.Runs = 100
+	}
+	if c.Scenario == "" {
+		c.Scenario = Campus
+	}
+}
+
+// TableIRow is one row of Table I.
+type TableIRow struct {
+	// Method is the submission path: "glogin", "idle" (interactive
+	// exclusive), "virtual machine" (interactive shared) or
+	// "job+agent" (batch).
+	Method string
+	// Manual marks methods where discovery/selection is hand-made by
+	// the user (Glogin).
+	Manual bool
+	// Local marks methods using the broker's combined local
+	// discovery+selection (the interactive-VM path).
+	Local bool
+	// Discovery, Selection and Submission summarize the measured phase
+	// durations in seconds across runs.
+	Discovery, Selection, Submission metrics.Summary
+}
+
+// glogin calibration: the environment/session setup Glogin transfers
+// through the gatekeeper, and the remote shell start time.
+const (
+	gloginSessionBytes = 6 << 20
+	gloginShellStart   = 9400 * time.Millisecond
+)
+
+// TableI reproduces the paper's response-time table: 100 submissions
+// per method over a grid of 20 sites, with the execution machine on
+// the campus network or at IFCA.
+func TableI(cfg TableIConfig) ([]TableIRow, error) {
+	cfg.setDefaults()
+	rows := []TableIRow{
+		{Method: "glogin", Manual: true},
+		{Method: "idle"},
+		{Method: "virtual machine", Local: true},
+		{Method: "job+agent"},
+	}
+	var disc, sel, sub [4]*metrics.Series
+	for i := range disc {
+		disc[i] = metrics.NewSeries("discovery")
+		sel[i] = metrics.NewSeries("selection")
+		sub[i] = metrics.NewSeries("submission")
+	}
+
+	sim := simclock.NewSim(time.Time{})
+	execProfile := cfg.Scenario.profile()
+	info := infosys.New(sim, 500*time.Millisecond) // the index lives in Germany: ~0.5 s per query
+	b := broker.New(broker.Config{Sim: sim, Info: info, Seed: cfg.Seed})
+
+	// The execution site lives on the scenario network and is always
+	// preferred by rank; the remaining sites are scattered over the
+	// European WAN (they only matter to the selection phase).
+	execSite := site.New(sim, site.Config{
+		Name:    "exec",
+		Nodes:   4,
+		Network: execProfile,
+		Costs:   site.DefaultCosts(),
+		Attrs:   map[string]any{"Arch": "i686", "OS": "linux", "Preferred": 1},
+	})
+	b.RegisterSite(execSite)
+	for i := 1; i < cfg.Sites; i++ {
+		b.RegisterSite(site.New(sim, site.Config{
+			Name:    fmt.Sprintf("eu%02d", i),
+			Nodes:   4,
+			Network: netsim.WideArea(),
+			Costs:   site.DefaultCosts(),
+			Attrs:   map[string]any{"Arch": "i686", "OS": "linux", "Preferred": 0},
+		}))
+	}
+	rank := jdl.Expr{Node: jdl.Ref{Scoped: true, Name: "Preferred"}}
+
+	// Provision one long-lived agent on the execution site for the
+	// virtual-machine rows.
+	agentJob := &jdl.Job{Executable: "background_batch", NodeNumber: 1, Rank: &rank}
+	ha, err := b.Submit(broker.Request{Job: agentJob, User: "batchowner", CPU: 1000 * time.Hour})
+	if err != nil {
+		return nil, err
+	}
+	sim.RunFor(5 * time.Minute)
+	if ha.State() != broker.Running {
+		return nil, fmt.Errorf("experiments: agent provisioning failed: %v %v", ha.State(), ha.Err())
+	}
+
+	runOne := func(method int, req broker.Request) error {
+		h, err := b.Submit(req)
+		if err != nil {
+			return err
+		}
+		// Generous horizon; jobs are short.
+		sim.RunFor(15 * time.Minute)
+		if h.State() != broker.Done {
+			return fmt.Errorf("experiments: %s run failed: %v %v", rows[method].Method, h.State(), h.Err())
+		}
+		disc[method].AddDuration(h.Phases.Discovery)
+		sel[method].AddDuration(h.Phases.Selection)
+		sub[method].AddDuration(h.Phases.Submission)
+		return nil
+	}
+
+	for run := 0; run < cfg.Runs; run++ {
+		// Glogin: destination chosen by hand; gatekeeper traversal,
+		// session setup transfer, remote shell start.
+		start := sim.Now()
+		var took time.Duration
+		sim.Go(func() {
+			c := execSite.Costs()
+			sim.Sleep(execProfile.RTT() + c.Auth + c.GRAM)
+			sim.Sleep(execProfile.TransferTime(gloginSessionBytes))
+			sim.Sleep(gloginShellStart)
+			took = sim.Since(start)
+		})
+		sim.RunFor(5 * time.Minute)
+		sub[0].AddDuration(took)
+
+		// Idle: interactive job in exclusive mode.
+		if err := runOne(1, broker.Request{
+			Job: &jdl.Job{Executable: "iapp", Interactive: true, NodeNumber: 1,
+				Access: jdl.ExclusiveAccess, Rank: &rank},
+			User: "user1", CPU: time.Second,
+		}); err != nil {
+			return nil, err
+		}
+
+		// Virtual machine: interactive job in shared mode, landing on
+		// the provisioned agent.
+		if err := runOne(2, broker.Request{
+			Job: &jdl.Job{Executable: "iapp", Interactive: true, NodeNumber: 1,
+				Access: jdl.SharedAccess, PerformanceLoss: 10},
+			User: "user2", CPU: time.Second,
+		}); err != nil {
+			return nil, err
+		}
+
+		// Job+agent: a batch job submitted together with its agent.
+		if err := runOne(3, broker.Request{
+			Job:  &jdl.Job{Executable: "bapp", NodeNumber: 1, Rank: &rank},
+			User: "user3", CPU: time.Second,
+		}); err != nil {
+			return nil, err
+		}
+		// Let agents from the batch row drain away.
+		sim.RunFor(10 * time.Minute)
+	}
+
+	for i := range rows {
+		rows[i].Discovery = disc[i].Summarize()
+		rows[i].Selection = sel[i].Summarize()
+		rows[i].Submission = sub[i].Summarize()
+	}
+	return rows, nil
+}
+
+// RenderTableI formats rows like the paper's Table I.
+func RenderTableI(scenario Scenario, rows []TableIRow) string {
+	t := metrics.NewTable("Method", "Resource Discovery (s)", "Resource Selection (s)",
+		fmt.Sprintf("Submission %s (s)", scenario))
+	for _, r := range rows {
+		switch {
+		case r.Manual:
+			t.AddRow(r.Method, "hand-made by user", "hand-made by user",
+				fmt.Sprintf("%.2f", r.Submission.Mean))
+		case r.Local:
+			t.AddRow(r.Method, "local (combined)",
+				fmt.Sprintf("%.2f", r.Selection.Mean),
+				fmt.Sprintf("%.2f", r.Submission.Mean))
+		default:
+			t.AddRow(r.Method,
+				fmt.Sprintf("%.2f", r.Discovery.Mean),
+				fmt.Sprintf("%.2f", r.Selection.Mean),
+				fmt.Sprintf("%.2f", r.Submission.Mean))
+		}
+	}
+	return t.String()
+}

@@ -1,0 +1,321 @@
+// Package glidein implements the paper's job agents (Section 5.2): a
+// Condor Glide-In style process that is submitted through the normal
+// batch path, gains control of a worker node independently of the
+// local-site job manager, and splits it into lightweight virtual
+// machines — a batch-vm plus one or more interactive-vms.
+//
+// The batch payload runs on the batch-vm at full share. When the
+// broker places an interactive job on an interactive-vm, the agent
+// lowers the batch-vm's CPU share according to the interactive job's
+// PerformanceLoss attribute (interactive 100 tickets : batch PL
+// tickets, see vmslot) and restores the original priority when the
+// interactive job finishes. After the batch payload completes — and
+// once no interactive job is running — the agent leaves the machine.
+//
+// The paper's deployed configuration uses exactly two VMs per node;
+// its Section 5.2 notes that "our multi-programming system could allow
+// a larger degree of multi-programming, creating dynamically more than
+// two virtual machines", which Options.Degree realizes: up to Degree
+// interactive VMs are created on demand, each holding a full
+// interactive share, and destroyed when their job leaves.
+//
+// Because the broker talks to agents directly (their state is "kept
+// locally by CrossBroker"), interactive jobs placed on an agent skip
+// resource discovery, selection, the gatekeeper and the local queue —
+// the source of the shared-mode row's speedup in Table I.
+package glidein
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"crossbroker/internal/batch"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+	"crossbroker/internal/vmslot"
+)
+
+// Agent state errors.
+var (
+	ErrBusy     = errors.New("glidein: no interactive VM available")
+	ErrReleased = errors.New("glidein: agent has left the machine")
+)
+
+// interactiveTickets is the per-interactive-vm share; the batch-vm
+// gets the interactive jobs' PerformanceLoss value as tickets, so the
+// batch job receives PL/100 CPU seconds per interactive CPU second.
+const interactiveTickets = 100
+
+// Options tune an agent.
+type Options struct {
+	// Degree is the maximum number of concurrent interactive VMs
+	// (default 1 — the paper's deployed two-VM configuration).
+	Degree int
+}
+
+// BatchPayload is the user batch job the agent hosts on its batch-vm.
+type BatchPayload struct {
+	// ID and Owner identify the job for accounting.
+	ID, Owner string
+	// Work is the payload's CPU demand on the node.
+	Work time.Duration
+}
+
+// InteractiveContext is passed to an interactive job body.
+type InteractiveContext struct {
+	// Sim is the simulation clock.
+	Sim *simclock.Sim
+	// Slot is the interactive virtual machine's CPU slot; CPU bursts
+	// go through Slot.Run.
+	Slot *vmslot.Slot
+	// Node is the worker node hosting the job.
+	Node *batch.Node
+}
+
+// InteractiveJob is a job the broker places on an interactive VM.
+type InteractiveJob struct {
+	// ID and Owner identify the job.
+	ID, Owner string
+	// PerformanceLoss is the percentage of CPU left to the co-located
+	// batch job.
+	PerformanceLoss int
+	// Run is the job body, executed as a simulation process.
+	Run func(ctx *InteractiveContext)
+}
+
+// Agent is a live glide-in on one worker node.
+type Agent struct {
+	id   string
+	sim  *simclock.Sim
+	opts Options
+
+	node    *batch.Node
+	batchVM *vmslot.Slot
+
+	// activePL holds the PerformanceLoss of each running interactive
+	// job, keyed by job id; the batch-vm runs at the minimum (most
+	// restrictive) of them.
+	activePL map[string]int
+
+	batchDone  bool
+	batchDoneT *simclock.Trigger
+	released   *simclock.Trigger
+	ready      *simclock.Trigger
+	hasBatch   bool
+	batchID    string
+
+	// OnFree is invoked (in simulation context) whenever an
+	// interactive VM becomes available; the broker uses it to update
+	// its local agent registry.
+	OnFree func(*Agent)
+	// OnYield and OnRestore are invoked when the batch payload's CPU
+	// share is lowered for / restored after interactive jobs, with
+	// the batch job id and the effective PerformanceLoss. The broker
+	// hooks fair-share reclassification here.
+	OnYield   func(batchID string, pl int)
+	OnRestore func(batchID string)
+}
+
+// Launch submits an agent with default options (one interactive VM).
+func Launch(sim *simclock.Sim, st *site.Site, payload *BatchPayload, priority int) (*Agent, *batch.Handle, error) {
+	return LaunchWithOptions(sim, st, payload, priority, Options{})
+}
+
+// LaunchWithOptions submits an agent (optionally wrapping a batch
+// payload) to the site via the normal gatekeeper path, paying the
+// agent staging cost. It must run in a simulation process. The
+// returned handle tracks the agent's occupancy of the node; the
+// *Agent becomes usable once Ready fires.
+func LaunchWithOptions(sim *simclock.Sim, st *site.Site, payload *BatchPayload, priority int, opts Options) (*Agent, *batch.Handle, error) {
+	if opts.Degree <= 0 {
+		opts.Degree = 1
+	}
+	a := &Agent{
+		id:         fmt.Sprintf("agent-%s", st.Name()),
+		sim:        sim,
+		opts:       opts,
+		activePL:   make(map[string]int),
+		released:   sim.NewTrigger(),
+		batchDoneT: sim.NewTrigger(),
+		ready:      sim.NewTrigger(),
+		hasBatch:   payload != nil,
+	}
+	owner := "crossbroker"
+	if payload != nil {
+		owner = payload.Owner
+		a.batchID = payload.ID
+	}
+	req := batch.Request{
+		ID:       "",
+		Owner:    owner,
+		Nodes:    1,
+		Priority: priority,
+		Run:      a.body(payload, st.Costs().JobStartup),
+	}
+	h, err := st.Submit(req, site.SubmitOptions{WithAgent: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	a.id = fmt.Sprintf("agent-%s-%s", st.Name(), h.ID())
+	return a, h, nil
+}
+
+// body is the agent's life on the worker node.
+func (a *Agent) body(payload *BatchPayload, startup time.Duration) func(*batch.ExecCtx) {
+	return func(ctx *batch.ExecCtx) {
+		a.node = ctx.Nodes[0]
+		// The agent configures the node: the batch VM exists for the
+		// agent's whole life, interactive VMs are created on demand.
+		a.batchVM = a.node.CPU.NewSlot("batch-vm", interactiveTickets)
+		a.ready.Fire()
+
+		if payload != nil {
+			// Start the batch payload on the batch-vm. An eviction
+			// unblocks the wait but must NOT count as completion —
+			// the broker resubmits unfinished payloads elsewhere.
+			a.sim.Go(func() {
+				a.sim.Sleep(startup)
+				finished := true
+				if payload.Work > 0 {
+					workDone := a.batchVM.Start(payload.Work)
+					w := a.sim.NewTrigger()
+					workDone.OnFire(w.Fire)
+					ctx.Killed.OnFire(w.Fire)
+					w.Wait()
+					finished = workDone.Fired()
+				}
+				if finished && !ctx.Killed.Fired() {
+					a.batchFinished()
+				}
+			})
+		} else {
+			a.batchDone = true
+		}
+
+		// The agent holds the node until released or killed by the
+		// LRM.
+		w := a.sim.NewTrigger()
+		a.released.OnFire(w.Fire)
+		ctx.Killed.OnFire(w.Fire)
+		w.Wait()
+		if ctx.Killed.Fired() && !a.released.Fired() {
+			// Evicted: fire released so waiters (and the broker's
+			// resubmission logic) observe the death.
+			a.released.Fire()
+		}
+		a.batchVM.Close()
+	}
+}
+
+func (a *Agent) batchFinished() {
+	a.batchDone = true
+	a.batchDoneT.Fire()
+	a.maybeLeave()
+}
+
+// BatchDone fires when the hosted batch payload has completed (never,
+// for agents launched without one — check Released for eviction).
+func (a *Agent) BatchDone() *simclock.Trigger { return a.batchDoneT }
+
+// maybeLeave implements "after completion of the batch job, the agent
+// leaves the machine" — once no interactive job is running either.
+func (a *Agent) maybeLeave() {
+	if a.batchDone && len(a.activePL) == 0 && !a.released.Fired() {
+		a.released.Fire()
+	}
+}
+
+// ID returns the agent identifier.
+func (a *Agent) ID() string { return a.id }
+
+// Node returns the worker node the agent controls (nil before start).
+func (a *Agent) Node() *batch.Node { return a.node }
+
+// BatchJobID returns the id of the hosted batch payload ("" if none).
+func (a *Agent) BatchJobID() string { return a.batchID }
+
+// Degree returns the agent's maximum interactive VM count.
+func (a *Agent) Degree() int { return a.opts.Degree }
+
+// FreeSlots reports how many interactive VMs can take a job right now.
+func (a *Agent) FreeSlots() int {
+	if a.node == nil || a.released.Fired() {
+		return 0
+	}
+	return a.opts.Degree - len(a.activePL)
+}
+
+// Free reports whether at least one interactive VM is available.
+func (a *Agent) Free() bool { return a.FreeSlots() > 0 }
+
+// Running reports the number of interactive jobs currently hosted.
+func (a *Agent) Running() int { return len(a.activePL) }
+
+// Released fires when the agent has left (or was evicted from) the
+// machine.
+func (a *Agent) Released() *simclock.Trigger { return a.released }
+
+// Ready fires once the agent holds its node and its virtual machines
+// exist — the point from which StartInteractive may be called.
+func (a *Agent) Ready() *simclock.Trigger { return a.ready }
+
+// applyBatchShare sets the batch-vm's tickets to the most restrictive
+// active PerformanceLoss (full share when no interactive job runs) and
+// fires the yield/restore hooks on transitions.
+func (a *Agent) applyBatchShare(wasIdle bool) {
+	if len(a.activePL) == 0 {
+		a.batchVM.SetTickets(interactiveTickets)
+		if !wasIdle && a.hasBatch && !a.batchDone && a.OnRestore != nil {
+			a.OnRestore(a.batchID)
+		}
+		return
+	}
+	min := 101
+	for _, pl := range a.activePL {
+		if pl < min {
+			min = pl
+		}
+	}
+	a.batchVM.SetTickets(min)
+	if a.hasBatch && !a.batchDone && a.OnYield != nil {
+		a.OnYield(a.batchID, min)
+	}
+}
+
+// StartInteractive places job on a fresh interactive VM: the batch
+// VM's share drops to the most restrictive active PerformanceLoss for
+// the job's duration and is restored when no interactive jobs remain,
+// per Section 5.2. It returns a trigger that fires when the
+// interactive job completes. Must be called in simulation context.
+func (a *Agent) StartInteractive(job InteractiveJob) (*simclock.Trigger, error) {
+	if a.released.Fired() || a.node == nil {
+		return nil, ErrReleased
+	}
+	if a.FreeSlots() == 0 {
+		return nil, ErrBusy
+	}
+	if _, dup := a.activePL[job.ID]; dup {
+		return nil, fmt.Errorf("glidein: interactive job %q already running here", job.ID)
+	}
+	wasIdle := len(a.activePL) == 0
+	a.activePL[job.ID] = job.PerformanceLoss
+	a.applyBatchShare(wasIdle)
+
+	slot := a.node.CPU.NewSlot("interactive-vm/"+job.ID, interactiveTickets)
+	done := a.sim.NewTrigger()
+	a.sim.Go(func() {
+		if job.Run != nil {
+			job.Run(&InteractiveContext{Sim: a.sim, Slot: slot, Node: a.node})
+		}
+		slot.Close()
+		delete(a.activePL, job.ID)
+		a.applyBatchShare(false)
+		if a.OnFree != nil && !a.released.Fired() {
+			a.OnFree(a)
+		}
+		done.Fire()
+		a.maybeLeave()
+	})
+	return done, nil
+}

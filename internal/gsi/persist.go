@@ -1,0 +1,106 @@
+package gsi
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/gob"
+	"fmt"
+	"os"
+)
+
+// File formats: gob-encoded envelopes with a magic header. Real GSI
+// uses PEM-encoded X.509; the on-disk role is identical — credentials
+// move between the user's machine, the broker and worker nodes.
+
+const (
+	credMagic = "CROSSGRID-CREDENTIAL-1\n"
+	certMagic = "CROSSGRID-CERTIFICATE-1\n"
+)
+
+type credEnvelope struct {
+	Chain []*Certificate
+	Key   ed25519.PrivateKey
+}
+
+// Save writes the credential — certificate chain and private key — to
+// path with owner-only permissions, like a GSI proxy file.
+func (c *Credential) Save(path string) error {
+	var buf bytes.Buffer
+	buf.WriteString(credMagic)
+	if err := gob.NewEncoder(&buf).Encode(credEnvelope{Chain: c.Chain, Key: c.key}); err != nil {
+		return fmt.Errorf("gsi: encode credential: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o600)
+}
+
+// LoadCredential reads a credential written by Save.
+func LoadCredential(path string) (*Credential, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(data, []byte(credMagic)) {
+		return nil, fmt.Errorf("gsi: %s is not a credential file", path)
+	}
+	var env credEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data[len(credMagic):])).Decode(&env); err != nil {
+		return nil, fmt.Errorf("gsi: decode credential %s: %w", path, err)
+	}
+	if len(env.Chain) == 0 || len(env.Key) != ed25519.PrivateKeySize {
+		return nil, fmt.Errorf("gsi: credential %s is malformed", path)
+	}
+	return &Credential{Chain: env.Chain, key: env.Key}, nil
+}
+
+// SaveCertificate writes a bare certificate (typically a CA root for
+// the trust store).
+func SaveCertificate(cert *Certificate, path string) error {
+	var buf bytes.Buffer
+	buf.WriteString(certMagic)
+	if err := gob.NewEncoder(&buf).Encode(cert); err != nil {
+		return fmt.Errorf("gsi: encode certificate: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadCertificate reads a certificate written by SaveCertificate.
+func LoadCertificate(path string) (*Certificate, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.HasPrefix(data, []byte(certMagic)) {
+		return nil, fmt.Errorf("gsi: %s is not a certificate file", path)
+	}
+	var cert Certificate
+	if err := gob.NewDecoder(bytes.NewReader(data[len(certMagic):])).Decode(&cert); err != nil {
+		return nil, fmt.Errorf("gsi: decode certificate %s: %w", path, err)
+	}
+	return &cert, nil
+}
+
+// SaveCA persists the CA's own signing material (certificate + key) so
+// a CA can issue across invocations. The file must be guarded like any
+// CA key.
+func (ca *CA) Save(path string) error {
+	var buf bytes.Buffer
+	buf.WriteString(credMagic)
+	env := credEnvelope{Chain: []*Certificate{ca.cert}, Key: ca.key}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("gsi: encode CA: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o600)
+}
+
+// LoadCA reads CA signing material written by CA.Save.
+func LoadCA(path string) (*CA, error) {
+	cred, err := LoadCredential(path)
+	if err != nil {
+		return nil, err
+	}
+	cert := cred.Chain[0]
+	if cert.Subject != cert.Issuer {
+		return nil, fmt.Errorf("gsi: %s does not hold a self-signed CA certificate", path)
+	}
+	return &CA{name: cert.Subject, key: cred.key, cert: cert}, nil
+}

@@ -1,0 +1,157 @@
+// Package infosys simulates the Globus MDS-based information system
+// the CrossBroker queries during resource discovery (Section 3 and
+// 6.1): a registry of site records that is updated periodically by the
+// sites and answered with a configurable query latency.
+//
+// Two properties of the real system matter to the experiments and are
+// modeled here:
+//
+//   - Query latency. The paper's information index lived in Germany
+//     while the broker ran in Spain; discovery took ~0.5 s dominated by
+//     that WAN round trip.
+//   - Staleness. Records reflect each site's last push, so the broker
+//     must re-contact sites directly for up-to-date queue state during
+//     the selection phase (which is why selection costs ~3 s for 20
+//     sites in Table I).
+package infosys
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"crossbroker/internal/simclock"
+)
+
+// SiteRecord describes one grid site as published to the information
+// system. Attrs carries matchmaking attributes (Arch, OS, MemoryMB,
+// ...); the remaining fields mirror the queue state at publish time.
+type SiteRecord struct {
+	// Name is the site's unique name.
+	Name string
+	// Gatekeeper is the address of the site's gatekeeper service.
+	Gatekeeper string
+	// Attrs holds the static matchmaking attributes.
+	Attrs map[string]any
+	// TotalCPUs and FreeCPUs describe capacity at publish time.
+	TotalCPUs, FreeCPUs int
+	// QueuedJobs is the local queue length at publish time.
+	QueuedJobs int
+	// UpdatedAt is the publish time of this record.
+	UpdatedAt time.Time
+}
+
+// Clone returns a deep copy so callers cannot mutate registry state.
+func (r SiteRecord) Clone() SiteRecord {
+	attrs := make(map[string]any, len(r.Attrs))
+	for k, v := range r.Attrs {
+		attrs[k] = v
+	}
+	r.Attrs = attrs
+	return r
+}
+
+// MatchAttrs merges the static attributes with the dynamic queue state
+// for Requirements/Rank evaluation.
+func (r SiteRecord) MatchAttrs() map[string]any {
+	m := make(map[string]any, len(r.Attrs)+3)
+	for k, v := range r.Attrs {
+		m[k] = v
+	}
+	m["TotalCPUs"] = r.TotalCPUs
+	m["FreeCPUs"] = r.FreeCPUs
+	m["QueuedJobs"] = r.QueuedJobs
+	return m
+}
+
+// Service is the information index (the GIIS).
+type Service struct {
+	clock        simclock.Clock
+	queryLatency time.Duration
+
+	mu      sync.Mutex
+	records map[string]SiteRecord
+}
+
+// New creates an information service on clock whose queries cost
+// queryLatency (one round trip from the broker to the index).
+func New(clock simclock.Clock, queryLatency time.Duration) *Service {
+	return &Service{
+		clock:        clock,
+		queryLatency: queryLatency,
+		records:      make(map[string]SiteRecord),
+	}
+}
+
+// QueryLatency returns the configured per-query round-trip cost.
+func (s *Service) QueryLatency() time.Duration { return s.queryLatency }
+
+// Publish stores or replaces a site record, stamping it with the
+// current time. Sites call this periodically (push model, as GRIS to
+// GIIS registration).
+func (s *Service) Publish(rec SiteRecord) error {
+	if rec.Name == "" {
+		return fmt.Errorf("infosys: record without site name")
+	}
+	rec = rec.Clone()
+	rec.UpdatedAt = s.clock.Now()
+	s.mu.Lock()
+	s.records[rec.Name] = rec
+	s.mu.Unlock()
+	return nil
+}
+
+// Remove deletes a site record (site decommissioned or expired).
+func (s *Service) Remove(name string) {
+	s.mu.Lock()
+	delete(s.records, name)
+	s.mu.Unlock()
+}
+
+// Len reports the number of published sites without query cost
+// (instrumentation, not part of the simulated protocol).
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.records)
+}
+
+// Query returns a snapshot of all published records, sorted by site
+// name. It costs the service's query latency; when the clock is a
+// simulation clock the caller must be a simulation process.
+func (s *Service) Query() []SiteRecord {
+	s.clock.Sleep(s.queryLatency)
+	return s.snapshot()
+}
+
+// QueryImmediate returns the snapshot without charging query latency;
+// tests and instrumentation use it.
+func (s *Service) QueryImmediate() []SiteRecord { return s.snapshot() }
+
+func (s *Service) snapshot() []SiteRecord {
+	s.mu.Lock()
+	out := make([]SiteRecord, 0, len(s.records))
+	for _, r := range s.records {
+		out = append(out, r.Clone())
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StaleAfter reports the records older than maxAge at the current
+// clock time; monitoring uses it to spot sites that stopped pushing.
+func (s *Service) StaleAfter(maxAge time.Duration) []string {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stale []string
+	for name, r := range s.records {
+		if now.Sub(r.UpdatedAt) > maxAge {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}

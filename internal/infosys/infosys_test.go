@@ -1,0 +1,110 @@
+package infosys
+
+import (
+	"testing"
+	"time"
+
+	"crossbroker/internal/simclock"
+)
+
+func rec(name string, free int) SiteRecord {
+	return SiteRecord{
+		Name:       name,
+		Gatekeeper: name + ".gk",
+		Attrs:      map[string]any{"Arch": "i686", "OS": "linux"},
+		TotalCPUs:  8,
+		FreeCPUs:   free,
+	}
+}
+
+func TestPublishAndQuery(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := New(sim, 250*time.Millisecond)
+	svc.Publish(rec("ifca", 4))
+	svc.Publish(rec("uab", 8))
+
+	var got []SiteRecord
+	var elapsed time.Duration
+	start := sim.Now()
+	sim.Go(func() {
+		got = svc.Query()
+		elapsed = sim.Since(start)
+	})
+	sim.Run()
+	if elapsed != 250*time.Millisecond {
+		t.Fatalf("query cost %v, want 250ms", elapsed)
+	}
+	if len(got) != 2 || got[0].Name != "ifca" || got[1].Name != "uab" {
+		t.Fatalf("records = %v", got)
+	}
+}
+
+func TestPublishStampsTime(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := New(sim, 0)
+	sim.AfterFunc(time.Hour, func() { svc.Publish(rec("a", 1)) })
+	sim.Run()
+	r := svc.QueryImmediate()[0]
+	if r.UpdatedAt != sim.Now() {
+		t.Fatalf("UpdatedAt = %v, want %v", r.UpdatedAt, sim.Now())
+	}
+}
+
+func TestPublishReplaces(t *testing.T) {
+	svc := New(simclock.Real(), 0)
+	svc.Publish(rec("a", 1))
+	svc.Publish(rec("a", 7))
+	rs := svc.QueryImmediate()
+	if len(rs) != 1 || rs[0].FreeCPUs != 7 {
+		t.Fatalf("records = %v", rs)
+	}
+}
+
+func TestPublishRequiresName(t *testing.T) {
+	svc := New(simclock.Real(), 0)
+	if err := svc.Publish(SiteRecord{}); err == nil {
+		t.Fatal("unnamed record accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	svc := New(simclock.Real(), 0)
+	svc.Publish(rec("a", 1))
+	svc.Remove("a")
+	if svc.Len() != 0 {
+		t.Fatalf("Len = %d after Remove", svc.Len())
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	svc := New(simclock.Real(), 0)
+	svc.Publish(rec("a", 1))
+	out := svc.QueryImmediate()
+	out[0].Attrs["Arch"] = "sparc"
+	out[0].FreeCPUs = 99
+	again := svc.QueryImmediate()[0]
+	if again.Attrs["Arch"] != "i686" || again.FreeCPUs != 1 {
+		t.Fatal("query result aliases registry state")
+	}
+}
+
+func TestMatchAttrsMergesDynamicState(t *testing.T) {
+	r := rec("a", 3)
+	r.QueuedJobs = 5
+	m := r.MatchAttrs()
+	if m["Arch"] != "i686" || m["FreeCPUs"] != 3 || m["QueuedJobs"] != 5 || m["TotalCPUs"] != 8 {
+		t.Fatalf("attrs = %v", m)
+	}
+}
+
+func TestStaleAfter(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := New(sim, 0)
+	svc.Publish(rec("old", 1))
+	sim.AfterFunc(10*time.Minute, func() { svc.Publish(rec("fresh", 1)) })
+	sim.Run()
+	stale := svc.StaleAfter(5 * time.Minute)
+	if len(stale) != 1 || stale[0] != "old" {
+		t.Fatalf("stale = %v", stale)
+	}
+}

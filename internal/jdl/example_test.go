@@ -1,0 +1,48 @@
+package jdl_test
+
+import (
+	"fmt"
+
+	"crossbroker/internal/jdl"
+)
+
+// ExampleParseJob parses the paper's Figure 2 job description.
+func ExampleParseJob() {
+	job, err := jdl.ParseJob(`
+Executable = "interactive_mpich-g2_app";
+JobType    = {"interactive", "mpich-g2"};
+NodeNumber = 2;
+Arguments  = "-n";
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(job.Executable, job.Flavor, job.NodeNumber, job.Interactive)
+	// Output: interactive_mpich-g2_app mpich-g2 2 true
+}
+
+// ExampleExpr_EvalBool evaluates a Requirements expression against a
+// candidate machine's attributes during matchmaking.
+func ExampleExpr_EvalBool() {
+	job, _ := jdl.ParseJob(`
+Executable   = "app";
+Requirements = other.Arch == "i686" && other.MemoryMB >= 512;
+`)
+	ok, _ := job.Requirements.EvalBool(map[string]any{
+		"Arch": "i686", "MemoryMB": 1024,
+	})
+	fmt.Println(ok)
+	// Output: true
+}
+
+// ExampleExpr_EvalNumber ranks a machine with an arithmetic Rank
+// expression.
+func ExampleExpr_EvalNumber() {
+	job, _ := jdl.ParseJob(`
+Executable = "app";
+Rank       = other.FreeCPUs * 10 - other.QueuedJobs;
+`)
+	rank, _ := job.Rank.EvalNumber(map[string]any{"FreeCPUs": 4, "QueuedJobs": 3})
+	fmt.Println(rank)
+	// Output: 37
+}

@@ -1,0 +1,387 @@
+package jdl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// figure2 is the job description from Figure 2 of the paper.
+const figure2 = `
+Executable = "interactive_mpich-g2_app";
+JobType    = {"interactive", "mpich-g2"};
+NodeNumber = 2;
+Arguments  = "-n";
+`
+
+func TestParseFigure2(t *testing.T) {
+	d, err := Parse(figure2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("parsed %d attributes, want 4", d.Len())
+	}
+	j, err := ExtractJob(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Executable != "interactive_mpich-g2_app" {
+		t.Fatalf("Executable = %q", j.Executable)
+	}
+	if !j.Interactive || j.Flavor != MPICHG2 {
+		t.Fatalf("JobType wrong: interactive=%v flavor=%v", j.Interactive, j.Flavor)
+	}
+	if j.NodeNumber != 2 {
+		t.Fatalf("NodeNumber = %d", j.NodeNumber)
+	}
+	if len(j.Arguments) != 1 || j.Arguments[0] != "-n" {
+		t.Fatalf("Arguments = %v", j.Arguments)
+	}
+	// Defaults per the paper.
+	if j.Streaming != FastStreaming || j.Access != ExclusiveAccess || j.PerformanceLoss != 0 {
+		t.Fatalf("defaults wrong: %+v", j)
+	}
+}
+
+func TestCaseInsensitiveAttributeNames(t *testing.T) {
+	j, err := ParseJob(`executable = "a"; JOBTYPE = "batch";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Executable != "a" || j.Interactive {
+		t.Fatalf("job = %+v", j)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+# hash comment
+// line comment
+Executable = "x"; /* block
+comment */ NodeNumber = 1;
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	d, err := Parse(`Executable = "a\"b\\c\nd\te";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Get("Executable")
+	if string(v.(String)) != "a\"b\\c\nd\te" {
+		t.Fatalf("got %q", v.(String))
+	}
+}
+
+func TestNumbersAndBooleans(t *testing.T) {
+	d, err := Parse(`A = -3; B = 2.5; C = true; D = false;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Get("A"); v.(Number) != -3 {
+		t.Fatalf("A = %v", v)
+	}
+	if v, _ := d.Get("B"); v.(Number) != 2.5 {
+		t.Fatalf("B = %v", v)
+	}
+	if v, _ := d.Get("C"); v.(Bool) != true {
+		t.Fatalf("C = %v", v)
+	}
+	if v, _ := d.Get("D"); v.(Bool) != false {
+		t.Fatalf("D = %v", v)
+	}
+}
+
+func TestNestedLists(t *testing.T) {
+	d, err := Parse(`L = {"a", {1, 2}, true};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Get("L")
+	l := v.(List)
+	if len(l) != 3 {
+		t.Fatalf("list = %v", l)
+	}
+	inner := l[1].(List)
+	if len(inner) != 2 || inner[0].(Number) != 1 {
+		t.Fatalf("inner = %v", inner)
+	}
+}
+
+func TestEmptyList(t *testing.T) {
+	d, err := Parse(`L = {};`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := d.Get("L")
+	if len(v.(List)) != 0 {
+		t.Fatalf("list = %v", v)
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`Executable = ;`,
+		`Executable "x";`,
+		`= "x";`,
+		`Executable = "x"`,    // missing semicolon
+		`Executable = "x`,     // unterminated string
+		`Executable = "x\q";`, /* bad escape */
+		`A = {1, };`,
+		`A = (1;`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		} else {
+			var se *SyntaxError
+			if !errors.As(err, &se) {
+				t.Errorf("Parse(%q) error %v is not a SyntaxError", src, err)
+			}
+		}
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	_, err := Parse("Executable = \"x\";\nOops = ;\n")
+	var se *SyntaxError
+	if !errors.As(err, &se) || se.Line != 2 {
+		t.Fatalf("err = %v, want SyntaxError on line 2", err)
+	}
+}
+
+func TestRequirementsEvaluation(t *testing.T) {
+	j, err := ParseJob(`
+Executable   = "x";
+Requirements = other.Arch == "i686" && other.MemoryMB >= 512 && !(other.Busy);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := j.Requirements.EvalBool(map[string]any{
+		"Arch": "i686", "MemoryMB": 1024, "Busy": false,
+	})
+	if err != nil || !ok {
+		t.Fatalf("eval = %v, %v", ok, err)
+	}
+	ok, err = j.Requirements.EvalBool(map[string]any{
+		"Arch": "x86_64", "MemoryMB": 1024, "Busy": false,
+	})
+	if err != nil || ok {
+		t.Fatalf("mismatched arch accepted: %v, %v", ok, err)
+	}
+}
+
+func TestRequirementsCaseInsensitiveStrings(t *testing.T) {
+	j, err := ParseJob(`Executable = "x"; Requirements = other.OS == "LINUX";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := j.Requirements.EvalBool(map[string]any{"OS": "linux"})
+	if err != nil || !ok {
+		t.Fatalf("case-insensitive string compare failed: %v %v", ok, err)
+	}
+}
+
+func TestRequirementsUndefinedAttribute(t *testing.T) {
+	j, err := ParseJob(`Executable = "x"; Requirements = other.GPU == true;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Requirements.EvalBool(map[string]any{"Arch": "i686"}); err == nil {
+		t.Fatal("undefined attribute evaluated without error")
+	}
+}
+
+func TestRankEvaluation(t *testing.T) {
+	j, err := ParseJob(`Executable = "x"; Rank = other.FreeCPUs;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := j.Rank.EvalNumber(map[string]any{"FreeCPUs": 7})
+	if err != nil || n != 7 {
+		t.Fatalf("rank = %v, %v", n, err)
+	}
+	// Boolean rank promotes to 1/0.
+	j2, _ := ParseJob(`Executable = "x"; Rank = other.Idle == true;`)
+	n, err = j2.Rank.EvalNumber(map[string]any{"Idle": true})
+	if err != nil || n != 1 {
+		t.Fatalf("bool rank = %v, %v", n, err)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	j, err := ParseJob(`Executable = "x"; Requirements = false && other.Missing == 1;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := j.Requirements.EvalBool(map[string]any{})
+	if err != nil || ok {
+		t.Fatalf("short-circuit && failed: %v %v", ok, err)
+	}
+	j2, _ := ParseJob(`Executable = "x"; Requirements = true || other.Missing == 1;`)
+	ok, err = j2.Requirements.EvalBool(map[string]any{})
+	if err != nil || !ok {
+		t.Fatalf("short-circuit || failed: %v %v", ok, err)
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	cases := []struct {
+		req   string
+		attrs map[string]any
+	}{
+		{`other.A == "s"`, map[string]any{"A": 5}},
+		{`other.A && true`, map[string]any{"A": 5}},
+		{`other.A > true`, map[string]any{"A": true}},
+		{`!other.A`, map[string]any{"A": "str"}},
+	}
+	for _, c := range cases {
+		j, err := ParseJob(`Executable = "x"; Requirements = ` + c.req + `;`)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.req, err)
+		}
+		if _, err := j.Requirements.EvalBool(c.attrs); err == nil {
+			t.Errorf("eval %q with %v succeeded, want type error", c.req, c.attrs)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []string{
+		`JobType = "batch";`, // missing Executable
+		`Executable = "x"; NodeNumber = 0;`,
+		`Executable = "x"; NodeNumber = 2.5;`,
+		`Executable = "x"; JobType = "sequential"; NodeNumber = 4;`,
+		`Executable = "x"; JobType = "wibble";`,
+		`Executable = "x"; StreamingMode = "sometimes";`,
+		`Executable = "x"; MachineAccess = "maybe";`,
+		`Executable = "x"; JobType = "interactive"; PerformanceLoss = 7;`,
+		`Executable = "x"; JobType = "interactive"; PerformanceLoss = -5;`,
+		`Executable = "x"; JobType = "batch"; MachineAccess = "shared";`,
+		`Executable = "x"; JobType = "batch"; PerformanceLoss = 10;`,
+		`Executable = "x"; ShadowPort = 99999;`,
+		`Executable = 5;`,
+	}
+	for _, src := range cases {
+		if _, err := ParseJob(src); !errors.Is(err, ErrValidation) {
+			t.Errorf("ParseJob(%q) err = %v, want ErrValidation", src, err)
+		}
+	}
+}
+
+func TestPerformanceLossMultiplesOfFive(t *testing.T) {
+	for _, pl := range []int{0, 5, 10, 25, 100} {
+		src := `Executable = "x"; JobType = "interactive"; MachineAccess = "shared"; PerformanceLoss = ` +
+			String("").JDL()[:0] + itoa(pl) + `;`
+		j, err := ParseJob(src)
+		if err != nil {
+			t.Fatalf("PL=%d rejected: %v", pl, err)
+		}
+		if j.PerformanceLoss != pl {
+			t.Fatalf("PL = %d, want %d", j.PerformanceLoss, pl)
+		}
+	}
+}
+
+func itoa(n int) string {
+	return Number(n).JDL()
+}
+
+func TestArgumentsStringSplit(t *testing.T) {
+	j, err := ParseJob(`Executable = "x"; Arguments = "-n 5 --verbose";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(j.Arguments) != 3 || j.Arguments[2] != "--verbose" {
+		t.Fatalf("Arguments = %v", j.Arguments)
+	}
+}
+
+func TestRoundTripCanonicalForm(t *testing.T) {
+	srcs := []string{
+		figure2,
+		`Executable = "app"; JobType = {"interactive", "sequential"}; StreamingMode = "reliable"; MachineAccess = "shared"; PerformanceLoss = 15;`,
+		`Executable = "b"; JobType = "batch"; Requirements = other.Arch == "i686" && other.MemoryMB >= 256; Rank = other.FreeCPUs;`,
+		`Executable = "c"; InputFiles = {"data.txt", "cfg.ini"}; ShadowPort = 9999;`,
+	}
+	for _, src := range srcs {
+		j1, err := ParseJob(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		printed := j1.Descriptor().String()
+		j2, err := ParseJob(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q failed: %v\nprinted:\n%s", src, err, printed)
+		}
+		if j2.Descriptor().SortedString() != j1.Descriptor().SortedString() {
+			t.Fatalf("round trip changed job:\nfirst:\n%s\nsecond:\n%s",
+				j1.Descriptor().SortedString(), j2.Descriptor().SortedString())
+		}
+	}
+}
+
+func TestDescriptorStringAligned(t *testing.T) {
+	d, _ := Parse(figure2)
+	out := d.String()
+	if !strings.Contains(out, `Executable = "interactive_mpich-g2_app";`) {
+		t.Fatalf("canonical form:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasSuffix(line, ";") {
+			t.Fatalf("line %q missing semicolon", line)
+		}
+	}
+}
+
+func TestExprJDLPreservesPrecedence(t *testing.T) {
+	j, err := ParseJob(`Executable = "x"; Requirements = (other.A == 1 || other.B == 2) && other.C == 3;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := j.Requirements.JDL()
+	j2, err := ParseJob(`Executable = "x"; Requirements = ` + printed + `;`)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", printed, err)
+	}
+	attrs := map[string]any{"A": 9, "B": 2, "C": 3}
+	ok1, _ := j.Requirements.EvalBool(attrs)
+	ok2, _ := j2.Requirements.EvalBool(attrs)
+	if ok1 != ok2 || !ok1 {
+		t.Fatalf("precedence lost: %v vs %v (printed %q)", ok1, ok2, printed)
+	}
+}
+
+func TestSetOverwritesKeepingOrder(t *testing.T) {
+	d := NewDescriptor()
+	d.Set("A", Number(1))
+	d.Set("B", Number(2))
+	d.Set("a", Number(3))
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if v, _ := d.Get("A"); v.(Number) != 3 {
+		t.Fatalf("A = %v", v)
+	}
+	names := d.Names()
+	if names[0] != "A" || names[1] != "B" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestFlavorAndModeStrings(t *testing.T) {
+	if Sequential.String() != "sequential" || MPICHP4.String() != "mpich-p4" || MPICHG2.String() != "mpich-g2" {
+		t.Fatal("flavor strings wrong")
+	}
+	if FastStreaming.String() != "fast" || ReliableStreaming.String() != "reliable" {
+		t.Fatal("streaming strings wrong")
+	}
+	if ExclusiveAccess.String() != "exclusive" || SharedAccess.String() != "shared" {
+		t.Fatal("access strings wrong")
+	}
+}

@@ -1,0 +1,29 @@
+package simclock_test
+
+import (
+	"fmt"
+	"time"
+
+	"crossbroker/internal/simclock"
+)
+
+// Example runs two cooperative processes in virtual time: hours of
+// simulated waiting complete instantly and deterministically.
+func Example() {
+	sim := simclock.NewSim(time.Time{})
+	start := sim.Now()
+
+	sim.Go(func() {
+		sim.Sleep(2 * time.Hour)
+		fmt.Printf("batch job done at +%v\n", sim.Since(start))
+	})
+	sim.Go(func() {
+		sim.Sleep(5 * time.Second)
+		fmt.Printf("interactive job done at +%v\n", sim.Since(start))
+	})
+
+	sim.Run()
+	// Output:
+	// interactive job done at +5s
+	// batch job done at +2h0m0s
+}

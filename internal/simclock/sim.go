@@ -1,0 +1,246 @@
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Sim is a deterministic discrete-event simulation clock.
+//
+// A single scheduler goroutine (the caller of Run, RunFor or RunUntil)
+// executes events in virtual-time order. Processes started with Go are
+// cooperative: exactly one process runs at any instant, and control
+// returns to the scheduler whenever the process sleeps, waits on a
+// Trigger, or finishes. Virtual time jumps directly from one event to
+// the next, so simulations covering hours complete in microseconds and
+// are bit-for-bit reproducible.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	events eventHeap
+	seq    int64
+	cur    *proc // process currently holding control, nil in plain events
+	nprocs int   // live (not yet exited) processes
+}
+
+// NewSim returns a simulation clock starting at start. A zero start is
+// replaced with a fixed, arbitrary epoch so tests are reproducible.
+func NewSim(start time.Time) *Sim {
+	if start.IsZero() {
+		start = time.Date(2006, time.September, 25, 12, 0, 0, 0, time.UTC)
+	}
+	return &Sim{now: start}
+}
+
+type event struct {
+	at       time.Time
+	seq      int64
+	fn       func()
+	proc     *proc
+	canceled bool
+	index    int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// proc is one cooperative process. Control is handed to the process by
+// sending on wake; the process returns control by sending on yield.
+type proc struct {
+	wake  chan struct{}
+	yield chan struct{}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since returns the virtual duration elapsed since t.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+func (s *Sim) schedule(d time.Duration, fn func(), p *proc) *event {
+	if d < 0 {
+		d = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := &event{at: s.now.Add(d), seq: s.seq, fn: fn, proc: p}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// AfterFunc schedules fn to run in its own event after d of virtual
+// time. fn runs on the scheduler goroutine; it must not call Sleep or
+// Trigger.Wait directly (start a process with Go for that).
+func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
+	e := s.schedule(d, fn, nil)
+	return simTimer{s, e}
+}
+
+// At schedules fn at absolute virtual time t (immediately if t is in
+// the past).
+func (s *Sim) At(t time.Time, fn func()) Timer {
+	return s.AfterFunc(t.Sub(s.Now()), fn)
+}
+
+type simTimer struct {
+	s *Sim
+	e *event
+}
+
+func (t simTimer) Stop() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	was := t.e.canceled
+	t.e.canceled = true
+	return !was
+}
+
+// Go starts a cooperative process running fn. The process is scheduled
+// to begin at the current virtual time; fn may call Sleep and
+// Trigger.Wait freely. Go may be called before Run or from within a
+// running event or process.
+func (s *Sim) Go(fn func()) {
+	p := &proc{wake: make(chan struct{}), yield: make(chan struct{})}
+	s.mu.Lock()
+	s.nprocs++
+	s.mu.Unlock()
+	go func() {
+		<-p.wake
+		fn()
+		s.mu.Lock()
+		s.nprocs--
+		s.mu.Unlock()
+		p.yield <- struct{}{}
+	}()
+	s.schedule(0, nil, p)
+}
+
+// Sleep suspends the calling process for d of virtual time. It panics
+// when called from outside a process (i.e. from a plain AfterFunc event
+// or before Run started the process).
+func (s *Sim) Sleep(d time.Duration) {
+	p := s.currentProc()
+	s.schedule(d, nil, p)
+	p.yield <- struct{}{}
+	<-p.wake
+}
+
+func (s *Sim) currentProc() *proc {
+	s.mu.Lock()
+	p := s.cur
+	s.mu.Unlock()
+	if p == nil {
+		panic("simclock: Sleep/Wait called outside a Sim process; use Sim.Go")
+	}
+	return p
+}
+
+// step executes the next pending event. It reports false when no
+// events remain or the next event lies beyond limit (when hasLimit).
+func (s *Sim) step(limit time.Time, hasLimit bool) bool {
+	s.mu.Lock()
+	for len(s.events) > 0 && s.events[0].canceled {
+		heap.Pop(&s.events)
+	}
+	if len(s.events) == 0 {
+		s.mu.Unlock()
+		return false
+	}
+	e := s.events[0]
+	if hasLimit && e.at.After(limit) {
+		s.now = limit
+		s.mu.Unlock()
+		return false
+	}
+	heap.Pop(&s.events)
+	s.now = e.at
+	s.cur = e.proc
+	s.mu.Unlock()
+
+	if e.proc != nil {
+		e.proc.wake <- struct{}{}
+		<-e.proc.yield
+	} else if e.fn != nil {
+		e.fn()
+	}
+
+	s.mu.Lock()
+	s.cur = nil
+	s.mu.Unlock()
+	return true
+}
+
+// Run executes events until none remain. It returns the final virtual
+// time. Processes blocked forever (e.g. on a Trigger that is never
+// fired) do not keep Run alive.
+func (s *Sim) Run() time.Time {
+	for s.step(time.Time{}, false) {
+	}
+	return s.Now()
+}
+
+// RunUntil executes events with timestamps not after t, then sets the
+// clock to t.
+func (s *Sim) RunUntil(t time.Time) time.Time {
+	for s.step(t, true) {
+	}
+	return s.Now()
+}
+
+// RunFor advances the clock by d, executing all events in the window.
+func (s *Sim) RunFor(d time.Duration) time.Time {
+	return s.RunUntil(s.Now().Add(d))
+}
+
+// Pending reports the number of scheduled, uncanceled events.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, e := range s.events {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// String describes the clock state, for debugging.
+func (s *Sim) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("sim(now=%s pending=%d procs=%d)", s.now.Format(time.RFC3339), len(s.events), s.nprocs)
+}
+
+var _ Clock = (*Sim)(nil)

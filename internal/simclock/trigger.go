@@ -1,0 +1,156 @@
+package simclock
+
+// Trigger is a one-shot rendezvous for simulation processes: any number
+// of processes Wait on it; Fire releases all current and future
+// waiters. It is the simulated analogue of closing a channel.
+type Trigger struct {
+	s         *Sim
+	fired     bool
+	waiters   []*proc
+	callbacks []func()
+}
+
+// NewTrigger returns an unfired Trigger bound to s.
+func (s *Sim) NewTrigger() *Trigger { return &Trigger{s: s} }
+
+// Fired reports whether Fire has been called.
+func (t *Trigger) Fired() bool {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.fired
+}
+
+// Fire releases all waiting processes at the current virtual time. It
+// is idempotent. It may be called from an event or a process.
+func (t *Trigger) Fire() {
+	t.s.mu.Lock()
+	if t.fired {
+		t.s.mu.Unlock()
+		return
+	}
+	t.fired = true
+	ws := t.waiters
+	cbs := t.callbacks
+	t.waiters = nil
+	t.callbacks = nil
+	t.s.mu.Unlock()
+	for _, p := range ws {
+		t.s.schedule(0, nil, p)
+	}
+	for _, fn := range cbs {
+		fn()
+	}
+}
+
+// OnFire registers fn to run when the trigger fires; if it has already
+// fired, fn runs immediately. Callbacks run inline in the firing
+// context and must be short and non-blocking.
+func (t *Trigger) OnFire(fn func()) {
+	t.s.mu.Lock()
+	if t.fired {
+		t.s.mu.Unlock()
+		fn()
+		return
+	}
+	t.callbacks = append(t.callbacks, fn)
+	t.s.mu.Unlock()
+}
+
+// Wait suspends the calling process until the trigger fires. It
+// returns immediately if the trigger already fired. Must be called
+// from a process started with Sim.Go.
+func (t *Trigger) Wait() {
+	p := t.s.currentProc()
+	t.s.mu.Lock()
+	if t.fired {
+		t.s.mu.Unlock()
+		return
+	}
+	t.waiters = append(t.waiters, p)
+	t.s.mu.Unlock()
+	p.yield <- struct{}{}
+	<-p.wake
+}
+
+// Queue is an unbounded FIFO communication channel between simulation
+// processes: Put never blocks, Get suspends the calling process until
+// an item is available. It is the simulated analogue of a buffered
+// channel with infinite capacity.
+type Queue struct {
+	s       *Sim
+	items   []any
+	waiters []*proc
+	closed  bool
+}
+
+// NewQueue returns an empty queue bound to s.
+func (s *Sim) NewQueue() *Queue { return &Queue{s: s} }
+
+// Put appends v and wakes one waiting process, if any. Put on a closed
+// queue panics.
+func (q *Queue) Put(v any) {
+	q.s.mu.Lock()
+	if q.closed {
+		q.s.mu.Unlock()
+		panic("simclock: Put on closed Queue")
+	}
+	q.items = append(q.items, v)
+	var p *proc
+	if len(q.waiters) > 0 {
+		p = q.waiters[0]
+		q.waiters = q.waiters[1:]
+	}
+	q.s.mu.Unlock()
+	if p != nil {
+		q.s.schedule(0, nil, p)
+	}
+}
+
+// Close marks the queue closed and wakes all waiters; subsequent Gets
+// drain remaining items and then report ok=false.
+func (q *Queue) Close() {
+	q.s.mu.Lock()
+	q.closed = true
+	ws := q.waiters
+	q.waiters = nil
+	q.s.mu.Unlock()
+	for _, p := range ws {
+		q.s.schedule(0, nil, p)
+	}
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int {
+	q.s.mu.Lock()
+	defer q.s.mu.Unlock()
+	return len(q.items)
+}
+
+// Get removes and returns the oldest item, suspending the calling
+// process while the queue is empty. ok is false when the queue is
+// closed and drained. Must be called from a process started with
+// Sim.Go.
+func (q *Queue) Get() (v any, ok bool) {
+	for {
+		q.s.mu.Lock()
+		if len(q.items) > 0 {
+			v = q.items[0]
+			q.items = q.items[1:]
+			q.s.mu.Unlock()
+			return v, true
+		}
+		if q.closed {
+			q.s.mu.Unlock()
+			return nil, false
+		}
+		p := q.s.cur
+		if p == nil {
+			q.s.mu.Unlock()
+			panic("simclock: Get called outside a Sim process; use Sim.Go")
+		}
+		q.waiters = append(q.waiters, p)
+		q.s.mu.Unlock()
+		p.yield <- struct{}{}
+		<-p.wake
+	}
+}

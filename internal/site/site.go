@@ -1,0 +1,203 @@
+// Package site models one grid site of the CrossGrid testbed: a
+// gatekeeper front end over a local batch queue of worker nodes
+// (Section 3, Figure 1). The gatekeeper charges the Globus-era costs a
+// submission pays before the local resource manager even sees the job
+// — GSI authentication, jobmanager (GRAM) setup, input-file staging
+// and the broker's two-phase commit — which is precisely the overhead
+// the multi-programming mechanism bypasses via direct broker->agent
+// communication (Table I).
+//
+// All operations run in virtual time: methods that model remote calls
+// sleep on the simulation clock and must be invoked from a simulation
+// process.
+package site
+
+import (
+	"time"
+
+	"crossbroker/internal/batch"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/vmslot"
+)
+
+// Costs are the per-submission overheads of the site's middleware
+// stack. Defaults are calibrated to the paper's testbed (Globus 2.4 on
+// Pentium III-Xeon class machines, Table I); the reproduction's claim
+// is about which path pays which component, not the absolute values.
+type Costs struct {
+	// Auth is the gatekeeper's GSI authentication cost.
+	Auth time.Duration
+	// GRAM is the jobmanager setup cost.
+	GRAM time.Duration
+	// Stage is the input-file staging plus two-phase-commit
+	// preparation the CrossBroker performs for every job it submits.
+	Stage time.Duration
+	// JobStartup is the time from node allocation to the application's
+	// first output being ready on the worker node (exec, libraries,
+	// Console Agent connect).
+	JobStartup time.Duration
+	// AgentStage is the extra transfer and startup of the glide-in
+	// agent executable when a job is submitted together with an agent.
+	AgentStage time.Duration
+	// VMDispatch is the agent's cost to set the job up on the
+	// interactive virtual machine (fork, environment, slot wiring)
+	// when the broker dispatches over its direct channel.
+	VMDispatch time.Duration
+}
+
+// DefaultCosts returns the Table I calibration.
+func DefaultCosts() Costs {
+	return Costs{
+		Auth:       2500 * time.Millisecond,
+		GRAM:       4 * time.Second,
+		Stage:      3 * time.Second,
+		JobStartup: 2500 * time.Millisecond,
+		AgentStage: 12 * time.Second,
+		VMDispatch: 1300 * time.Millisecond,
+	}
+}
+
+// Config describes one site.
+type Config struct {
+	// Name is the unique site name.
+	Name string
+	// Nodes is the worker-node count.
+	Nodes int
+	// Attrs are the matchmaking attributes published to the
+	// information system (Arch, OS, MemoryMB, ...).
+	Attrs map[string]any
+	// Network is the path between the broker/user and this site.
+	Network netsim.Profile
+	// Costs is the middleware cost model.
+	Costs Costs
+	// LRMCycle is the local scheduler's pass interval.
+	LRMCycle time.Duration
+	// PublishInterval is how often the site pushes its record to the
+	// information system.
+	PublishInterval time.Duration
+	// QueueSlots caps how many jobs the local queue will hold pending
+	// before the broker considers the site full (default 2x Nodes).
+	QueueSlots int
+	// QueryCost is the gatekeeper's processing time for a direct
+	// queue-state query (default 130 ms; with ~20 European sites this
+	// yields the paper's ~3 s selection phase).
+	QueryCost time.Duration
+	// MachineOpts configure each worker node's CPU.
+	MachineOpts []vmslot.Option
+}
+
+// Site is one grid site.
+type Site struct {
+	sim   *simclock.Sim
+	cfg   Config
+	queue *batch.Queue
+}
+
+// New creates a site with its local queue and worker nodes.
+func New(sim *simclock.Sim, cfg Config) *Site {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	if cfg.LRMCycle <= 0 {
+		cfg.LRMCycle = 5 * time.Second
+	}
+	if cfg.PublishInterval <= 0 {
+		cfg.PublishInterval = 2 * time.Minute
+	}
+	if cfg.Attrs == nil {
+		cfg.Attrs = map[string]any{"Arch": "i686", "OS": "linux", "MemoryMB": 512}
+	}
+	if cfg.QueueSlots <= 0 {
+		cfg.QueueSlots = 2 * cfg.Nodes
+	}
+	if cfg.QueryCost <= 0 {
+		cfg.QueryCost = 130 * time.Millisecond
+	}
+	q := batch.NewQueue(sim, cfg.Name, cfg.Nodes, cfg.MachineOpts, batch.WithCycle(cfg.LRMCycle))
+	return &Site{sim: sim, cfg: cfg, queue: q}
+}
+
+// Name returns the site name.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// Queue exposes the local resource manager.
+func (s *Site) Queue() *batch.Queue { return s.queue }
+
+// Costs returns the site's cost model.
+func (s *Site) Costs() Costs { return s.cfg.Costs }
+
+// Network returns the broker<->site path profile.
+func (s *Site) Network() netsim.Profile { return s.cfg.Network }
+
+// QueueSlots returns the pending-queue capacity the broker respects.
+func (s *Site) QueueSlots() int { return s.cfg.QueueSlots }
+
+// Record builds the site's current information-system record.
+func (s *Site) Record() infosys.SiteRecord {
+	return infosys.SiteRecord{
+		Name:       s.cfg.Name,
+		Gatekeeper: s.cfg.Name + "/gatekeeper",
+		Attrs:      s.cfg.Attrs,
+		TotalCPUs:  len(s.queue.Nodes()),
+		FreeCPUs:   s.queue.FreeNodeCount(),
+		QueuedJobs: s.queue.QueueLength(),
+	}
+}
+
+// StartPublishing pushes the site record to the information service
+// now and on every PublishInterval, mirroring GRIS->GIIS registration.
+func (s *Site) StartPublishing(is *infosys.Service) {
+	var tick func()
+	tick = func() {
+		is.Publish(s.Record())
+		s.sim.AfterFunc(s.cfg.PublishInterval, tick)
+	}
+	tick()
+}
+
+// QueryState is the broker's direct query for up-to-date queue
+// information during the selection phase. It costs one network round
+// trip plus a small gatekeeper processing delay, and must run in a
+// simulation process.
+func (s *Site) QueryState() (free, queued int) {
+	s.sim.Sleep(s.cfg.Network.RTT() + s.cfg.QueryCost)
+	return s.queue.FreeNodeCount(), s.queue.QueueLength()
+}
+
+// SubmitOptions select which middleware costs a gatekeeper submission
+// pays.
+type SubmitOptions struct {
+	// WithAgent adds the glide-in agent staging cost.
+	WithAgent bool
+	// SkipStage omits the broker's staging/two-phase-commit cost (used
+	// by baselines such as Glogin that do no input staging).
+	SkipStage bool
+}
+
+// Submit pushes a job through the gatekeeper into the local queue:
+// staging + two-phase commit at the broker, network transfer, GSI
+// authentication and GRAM setup at the gatekeeper, then the LRM
+// enqueue. It must run in a simulation process and returns once the
+// job is accepted by the LRM (the commit point), with the handle for
+// tracking.
+func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, error) {
+	c := s.cfg.Costs
+	if !opts.SkipStage {
+		s.sim.Sleep(c.Stage)
+	}
+	// Request travels to the gatekeeper; two-phase commit costs a
+	// second round trip after the LRM accepts.
+	s.sim.Sleep(s.cfg.Network.RTT())
+	s.sim.Sleep(c.Auth + c.GRAM)
+	if opts.WithAgent {
+		s.sim.Sleep(c.AgentStage)
+	}
+	h, err := s.queue.Submit(req)
+	if err != nil {
+		return nil, err
+	}
+	s.sim.Sleep(s.cfg.Network.RTT()) // commit acknowledgment
+	return h, nil
+}

@@ -1,0 +1,140 @@
+package site
+
+import (
+	"testing"
+	"time"
+
+	"crossbroker/internal/batch"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+)
+
+func newSite(sim *simclock.Sim, nodes int) *Site {
+	return New(sim, Config{
+		Name:    "uab",
+		Nodes:   nodes,
+		Network: netsim.CampusGrid(),
+		Costs:   DefaultCosts(),
+	})
+}
+
+func TestRecordReflectsQueueState(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 4)
+	r := s.Record()
+	if r.Name != "uab" || r.TotalCPUs != 4 || r.FreeCPUs != 4 || r.QueuedJobs != 0 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.Attrs["Arch"] != "i686" {
+		t.Fatalf("attrs = %v", r.Attrs)
+	}
+}
+
+func TestSubmitPaysMiddlewareCosts(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 2)
+	start := sim.Now()
+	var acceptedAt, startedAt time.Duration
+	sim.Go(func() {
+		h, err := s.Submit(batch.Request{ID: "j", Nodes: 1, Run: func(ctx *batch.ExecCtx) {
+			startedAt = sim.Since(start)
+		}}, SubmitOptions{})
+		if err != nil {
+			t.Errorf("submit: %v", err)
+			return
+		}
+		acceptedAt = sim.Since(start)
+		_ = h
+	})
+	sim.Run()
+	c := DefaultCosts()
+	wantMin := c.Stage + c.Auth + c.GRAM
+	if acceptedAt < wantMin {
+		t.Fatalf("accepted at %v, want >= %v", acceptedAt, wantMin)
+	}
+	// Job starts one LRM cycle after enqueue.
+	if startedAt < acceptedAt {
+		t.Fatalf("started %v before accepted %v", startedAt, acceptedAt)
+	}
+}
+
+func TestSubmitWithAgentCostsMore(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 2)
+	start := sim.Now()
+	var plain, withAgent time.Duration
+	sim.Go(func() {
+		s.Submit(batch.Request{ID: "a", Nodes: 1, Run: func(*batch.ExecCtx) {}}, SubmitOptions{})
+		plain = sim.Since(start)
+		t0 := sim.Now()
+		s.Submit(batch.Request{ID: "b", Nodes: 1, Run: func(*batch.ExecCtx) {}}, SubmitOptions{WithAgent: true})
+		withAgent = sim.Since(t0)
+	})
+	sim.Run()
+	if withAgent-plain != DefaultCosts().AgentStage {
+		t.Fatalf("agent overhead = %v, want %v", withAgent-plain, DefaultCosts().AgentStage)
+	}
+}
+
+func TestSkipStage(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 2)
+	start := sim.Now()
+	var took time.Duration
+	sim.Go(func() {
+		s.Submit(batch.Request{ID: "g", Nodes: 1, Run: func(*batch.ExecCtx) {}}, SubmitOptions{SkipStage: true})
+		took = sim.Since(start)
+	})
+	sim.Run()
+	full := DefaultCosts().Stage + DefaultCosts().Auth + DefaultCosts().GRAM
+	if took >= full {
+		t.Fatalf("SkipStage submission took %v, want < %v", took, full)
+	}
+}
+
+func TestQueryStateCostsRTT(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 3)
+	start := sim.Now()
+	var took time.Duration
+	var free int
+	sim.Go(func() {
+		free, _ = s.QueryState()
+		took = sim.Since(start)
+	})
+	sim.Run()
+	if free != 3 {
+		t.Fatalf("free = %d", free)
+	}
+	if took < netsim.CampusGrid().RTT() {
+		t.Fatalf("query took %v, less than one RTT", took)
+	}
+}
+
+func TestStartPublishing(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := New(sim, Config{Name: "x", Nodes: 1, PublishInterval: time.Minute, Network: netsim.CampusGrid()})
+	is := infosys.New(sim, 0)
+	s.StartPublishing(is)
+	if is.Len() != 1 {
+		t.Fatal("initial publish missing")
+	}
+	first := is.QueryImmediate()[0].UpdatedAt
+	sim.RunFor(90 * time.Second)
+	second := is.QueryImmediate()[0].UpdatedAt
+	if !second.After(first) {
+		t.Fatal("record not refreshed")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := New(sim, Config{Name: "d"})
+	if len(s.Queue().Nodes()) != 1 {
+		t.Fatal("default nodes != 1")
+	}
+	if s.Record().Attrs["OS"] != "linux" {
+		t.Fatal("default attrs missing")
+	}
+}

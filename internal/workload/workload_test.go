@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestPoissonMeanRate(t *testing.T) {
+	p := NewPoisson(60, 1) // one per minute
+	var sum time.Duration
+	const n = 5000
+	for i := 0; i < n; i++ {
+		d := p.Next()
+		if d < 0 {
+			t.Fatalf("negative inter-arrival %v", d)
+		}
+		sum += d
+	}
+	mean := sum / n
+	if mean < 50*time.Second || mean > 70*time.Second {
+		t.Fatalf("mean inter-arrival %v, want ~1m", mean)
+	}
+}
+
+func TestPoissonDeterministicPerSeed(t *testing.T) {
+	a, b := NewPoisson(10, 7), NewPoisson(10, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewPoisson(10, 8)
+	same := true
+	a2 := NewPoisson(10, 7)
+	for i := 0; i < 100; i++ {
+		if a2.Next() != c.Next() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	u := NewUniform(time.Second, 3*time.Second, 1)
+	for i := 0; i < 1000; i++ {
+		d := u.Next()
+		if d < time.Second || d > 3*time.Second {
+			t.Fatalf("out of bounds: %v", d)
+		}
+	}
+	// Swapped bounds are normalized; equal bounds degenerate.
+	u2 := NewUniform(3*time.Second, time.Second, 1)
+	if d := u2.Next(); d < time.Second || d > 3*time.Second {
+		t.Fatalf("swapped bounds: %v", d)
+	}
+	u3 := NewUniform(time.Second, time.Second, 1)
+	if u3.Next() != time.Second {
+		t.Fatal("degenerate uniform")
+	}
+}
+
+func TestLogNormalMedianAndCap(t *testing.T) {
+	l := NewLogNormal(10*time.Minute, 1.0, 3)
+	var above, total int
+	for i := 0; i < 4000; i++ {
+		d := l.Sample()
+		if d <= 0 {
+			t.Fatalf("non-positive sample %v", d)
+		}
+		if d > 500*time.Minute {
+			t.Fatalf("sample %v beyond 50x median cap", d)
+		}
+		if d > 10*time.Minute {
+			above++
+		}
+		total++
+	}
+	frac := float64(above) / float64(total)
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("%.2f of samples above the median, want ~0.5", frac)
+	}
+}
+
+func TestFixedDist(t *testing.T) {
+	if Fixed(time.Minute).Sample() != time.Minute {
+		t.Fatal("Fixed broken")
+	}
+}
+
+func TestMixComposition(t *testing.T) {
+	m := NewMix(11)
+	interactive, batch := 0, 0
+	users := map[string]bool{}
+	for i := 0; i < 3000; i++ {
+		j := m.Next()
+		users[j.User] = true
+		switch j.Kind {
+		case InteractiveJob:
+			interactive++
+			found := false
+			for _, pl := range m.PerformanceLosses {
+				if j.PerformanceLoss == pl {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("interactive PL %d not from configured set", j.PerformanceLoss)
+			}
+			if j.CPU > 110*time.Minute {
+				t.Fatalf("interactive CPU %v beyond cap", j.CPU)
+			}
+		case BatchJob:
+			batch++
+			if j.PerformanceLoss != 0 {
+				t.Fatal("batch job with PerformanceLoss")
+			}
+		}
+		if j.CPU <= 0 {
+			t.Fatalf("job with CPU %v", j.CPU)
+		}
+	}
+	frac := float64(interactive) / 3000
+	if math.Abs(frac-0.3) > 0.04 {
+		t.Fatalf("interactive fraction %.3f, want ~0.30", frac)
+	}
+	if len(users) != 16 {
+		t.Fatalf("%d distinct users, want 16", len(users))
+	}
+}
