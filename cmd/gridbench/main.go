@@ -6,6 +6,7 @@
 //	gridbench -exp fig7                 # wide-area streaming overhead
 //	gridbench -exp fig8                 # VM load overhead
 //	gridbench -exp ablations            # design-choice studies
+//	gridbench -exp bench                # matchmaking benchmarks -> JSON
 //	gridbench -exp all
 //
 // Figures 6 and 7 run in real time over shaped in-memory networks;
@@ -28,13 +29,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
 	iters := flag.Int("iters", 1000, "loop iterations (fig 8)")
 	scale := flag.Float64("scale", 1.0, "network delay scale for real-time experiments")
 	series := flag.Bool("series", false, "dump raw per-iteration series as CSV")
 	seed := flag.Int64("seed", 2006, "randomization seed")
+	benchOut := flag.String("benchout", "BENCH_matchmaking.json", "output path for -exp bench")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -56,6 +58,7 @@ func main() {
 	run("fig7", func() error { return pingpong("fig7", netsim.WideArea(), *rounds, *scale, *seed, *series) })
 	run("fig8", func() error { return fig8(*iters, *series) })
 	run("ablations", func() error { return ablations(*scale, *seed) })
+	run("bench", func() error { return bench(*benchOut) })
 }
 
 func table1(runs int, seed int64) error {

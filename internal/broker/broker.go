@@ -54,14 +54,29 @@ var (
 	ErrNoMatch = errors.New("broker: no site matches job requirements")
 )
 
+// FairShare is the fair-share policy surface the broker needs.
+// *fairshare.Manager implements it; tests substitute fakes.
+type FairShare interface {
+	// Priority returns the user's current priority (lower is better).
+	Priority(name string) float64
+	// Allocate charges a started job to its user.
+	Allocate(jobID, userName string, cpus int, class fairshare.Class, pl int) error
+	// Reclass moves a running job to another accounting class.
+	Reclass(jobID string, class fairshare.Class, pl int) error
+	// Release ends a job's accounting.
+	Release(jobID string)
+	// SetTotal declares the grid's total CPU count.
+	SetTotal(cpus int)
+}
+
 // Config parametrizes the broker.
 type Config struct {
 	// Sim is the simulation clock everything runs on.
 	Sim *simclock.Sim
 	// Info is the information system used for resource discovery.
 	Info *infosys.Service
-	// Fair is the fair-share manager; nil disables accounting.
-	Fair *fairshare.Manager
+	// Fair is the fair-share policy; nil disables accounting.
+	Fair FairShare
 	// Seed drives randomized resource selection.
 	Seed int64
 	// Deterministic disables the randomized tie-break, keeping
@@ -89,6 +104,14 @@ type Config struct {
 	// paper's two-VM configuration; Section 5.2 discusses larger
 	// degrees as an extension).
 	AgentDegree int
+	// ProbeWidth bounds how many direct site-state probes the
+	// selection phase runs concurrently. 0 or 1 (the default) probes
+	// sites one after another, reproducing the paper's serial
+	// selection cost (~3 s for 20 sites, Table I); a larger width
+	// fans the probes out as concurrent simulation processes so the
+	// selection time approaches the maximum site round trip; negative
+	// probes every site at once.
+	ProbeWidth int
 }
 
 func (c *Config) setDefaults() {
@@ -250,7 +273,12 @@ type Broker struct {
 	sites      map[string]*site.Site
 	agents     map[string]*glidein.Agent
 	agentSites map[*glidein.Agent]*site.Site
-	leases     map[string][]time.Time // site -> per-CPU lease expiries
+	leases     map[string]*leaseQueue // site -> lease expiry batches
+
+	// lastSnap keeps the previous discovery snapshot when running
+	// without an information service, so schema pointers (and the
+	// jobs' compiled-predicate caches) stay stable across passes.
+	lastSnap *infosys.Snapshot
 
 	pendingBatch []*Handle
 	seq          int
@@ -270,7 +298,7 @@ func New(cfg Config) *Broker {
 		sites:      make(map[string]*site.Site),
 		agents:     make(map[string]*glidein.Agent),
 		agentSites: make(map[*glidein.Agent]*site.Site),
-		leases:     make(map[string][]time.Time),
+		leases:     make(map[string]*leaseQueue),
 	}
 }
 

@@ -35,7 +35,7 @@ func newGrid(t *testing.T, nSites, nodesPerSite int, cfg Config) *grid {
 		cfg.Fair = fair
 	}
 	b := New(cfg)
-	g := &grid{sim: sim, info: info, fair: cfg.Fair, b: b}
+	g := &grid{sim: sim, info: info, fair: fair, b: b}
 	for i := 0; i < nSites; i++ {
 		st := site.New(sim, site.Config{
 			Name:     fmt.Sprintf("site%02d", i),

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
 )
@@ -19,69 +20,104 @@ type candidate struct {
 }
 
 // discover queries the information system, recording the discovery
-// phase on h. Must run in a simulation process.
-func (b *Broker) discover(h *Handle) []infosys.SiteRecord {
+// phase on h. The returned snapshot is immutable and shared between
+// every pass of the current registry epoch. Must run in a simulation
+// process.
+func (b *Broker) discover(h *Handle) *infosys.Snapshot {
 	h.state = Matching
 	start := b.sim.Now()
-	var recs []infosys.SiteRecord
+	var snap *infosys.Snapshot
 	if b.cfg.Info != nil {
-		recs = b.cfg.Info.Query()
+		snap = b.cfg.Info.Snapshot()
 	} else {
+		recs := make([]infosys.SiteRecord, 0, len(b.sites))
 		for _, s := range b.sites {
 			recs = append(recs, s.Record())
 		}
-		sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+		// Thread the previous snapshot through so the schema pointer —
+		// and with it each job's compiled-predicate cache — survives
+		// rebuilds.
+		snap = infosys.NewSnapshot(recs, b.lastSnap)
+		b.lastSnap = snap
 	}
 	h.Phases.Discovery = b.sim.Since(start)
-	return recs
+	return snap
 }
 
-// selection filters records against the job's Requirements, contacts
-// each surviving site directly for up-to-date queue state, applies
-// leases, ranks (job Rank expression or free CPUs), and orders
-// candidates best first with randomized tie-breaking. The selection
-// phase duration is recorded on h. Must run in a simulation process.
-func (b *Broker) selection(h *Handle, recs []infosys.SiteRecord, excluded map[string]bool) []candidate {
+// probeTask carries one requirement-matched site through the direct
+// state probe: idx is the site's record index in the snapshot, free
+// and queued are filled by probeSites.
+type probeTask struct {
+	st           *site.Site
+	idx          int
+	free, queued int
+}
+
+// selection filters the snapshot against the job's compiled
+// Requirements, contacts each surviving site directly for up-to-date
+// queue state (serially or probeWidth-wide, see Config.ProbeWidth),
+// applies leases, ranks (job Rank expression or free CPUs), and orders
+// candidates best first with randomized tie-breaking. A candidate
+// whose Rank evaluation errors is excluded, exactly like a failing
+// Requirements evaluation. The selection phase duration is recorded on
+// h. Must run in a simulation process.
+func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[string]bool) []candidate {
 	start := b.sim.Now()
 	defer func() { h.Phases.Selection += b.sim.Since(start) }()
 
 	job := h.request.Job
-	var cands []candidate
-	for _, rec := range recs {
-		if excluded[rec.Name] {
+	req, rank := job.CompiledPredicates(snap.Schema())
+
+	// Phase 1: requirements filtering against published attributes.
+	// Pure computation — no simulated time passes.
+	kept := make([]probeTask, 0, snap.Len())
+	for i := 0; i < snap.Len(); i++ {
+		name := snap.Name(i)
+		if excluded[name] {
 			continue
 		}
-		st, ok := b.sites[rec.Name]
+		st, ok := b.sites[name]
 		if !ok {
 			continue // stale record for an unregistered site
 		}
-		if job.Requirements != nil {
-			ok, err := job.Requirements.EvalBool(rec.MatchAttrs())
+		if req != nil {
+			m := snap.MatchAttrs(i)
+			ok, err := req.EvalBool(m.Values())
+			m.Release()
 			if err != nil || !ok {
 				continue
 			}
 		}
-		// "Information may not be completely accurate ... CrossBroker
-		// contacts each remote site individually and gets the most
-		// updated information about the state of their local queues."
-		free, queued := st.QueryState()
-		free -= b.activeLeases(rec.Name)
-		if free < 0 {
-			free = 0
-		}
-		c := candidate{site: st, free: free, queued: queued, noise: b.rng.Float64()}
+		kept = append(kept, probeTask{st: st, idx: i})
+	}
+
+	// Phase 2: "Information may not be completely accurate ...
+	// CrossBroker contacts each remote site individually and gets the
+	// most updated information about the state of their local queues."
+	b.probeSites(kept)
+
+	// Phase 3: ranking and ordering. Pure computation again.
+	cands := make([]candidate, 0, len(kept))
+	for _, p := range kept {
+		c := candidate{site: p.st, free: p.free, queued: p.queued, noise: b.rng.Float64()}
 		if b.cfg.Deterministic {
 			c.noise = float64(len(cands)) // stable record order
 		}
-		if job.Rank != nil {
-			attrs := rec.MatchAttrs()
-			attrs["FreeCPUs"] = free
-			attrs["QueuedJobs"] = queued
-			if r, err := job.Rank.EvalNumber(attrs); err == nil {
-				c.rank = r
+		if rank != nil {
+			m := snap.MatchAttrs(p.idx)
+			m.SetFloat(infosys.AttrFreeCPUs, float64(p.free))
+			m.SetFloat(infosys.AttrQueuedJobs, float64(p.queued))
+			r, err := rank.EvalNumber(m.Values())
+			m.Release()
+			if err != nil {
+				// A Rank that cannot be evaluated on this machine
+				// excludes it, like a failing Requirements; otherwise
+				// the site would silently compete with rank 0.
+				continue
 			}
+			c.rank = r
 		} else {
-			c.rank = float64(free)
+			c.rank = float64(p.free)
 		}
 		cands = append(cands, c)
 	}
@@ -97,38 +133,163 @@ func (b *Broker) selection(h *Handle, recs []infosys.SiteRecord, excluded map[st
 	return cands
 }
 
+// probeSites fills each task's free/queued fields via the site's
+// direct QueryState, subtracting the broker's active leases as each
+// answer arrives (so concurrent matchmaking passes see each other's
+// reservations exactly as the serial implementation did). With
+// ProbeWidth <= 1 sites are contacted one after another (the paper's
+// behavior: selection costs the sum of site round trips, ~3 s for 20
+// sites in Table I). With a larger width the probes run as concurrent
+// simulation processes and the elapsed simulated time is the maximum
+// round trip over each worker's share. Must run in a simulation
+// process.
+func (b *Broker) probeSites(tasks []probeTask) {
+	n := len(tasks)
+	if n == 0 {
+		return
+	}
+	probe := func(i int) {
+		free, queued := tasks[i].st.QueryState()
+		free -= b.activeLeases(tasks[i].st.Name())
+		if free < 0 {
+			free = 0
+		}
+		tasks[i].free, tasks[i].queued = free, queued
+	}
+	width := b.cfg.ProbeWidth
+	if width >= 0 && width <= 1 {
+		for i := range tasks {
+			probe(i)
+		}
+		return
+	}
+	workers := n
+	if width > 0 && width < n {
+		workers = width
+	}
+	// Cooperative simulation processes run one at a time with channel
+	// handoffs, so the shared counters need no locking and the probe
+	// order stays deterministic (event-sequence order).
+	next := 0
+	remaining := workers
+	done := b.sim.NewTrigger()
+	for w := 0; w < workers; w++ {
+		b.sim.Go(func() {
+			for next < n {
+				i := next
+				next++
+				probe(i)
+			}
+			remaining--
+			if remaining == 0 {
+				done.Fire()
+			}
+		})
+	}
+	done.Wait()
+}
+
+// SelectionPass runs one full matchmaking pass (discovery plus
+// selection) for job and returns the number of candidate sites. It
+// must be called from a simulation process; benchmarks and gridbench
+// use it to measure the pipeline end to end.
+func (b *Broker) SelectionPass(job *jdl.Job) int {
+	h := &Handle{request: Request{Job: job}}
+	snap := b.discover(h)
+	return len(b.selection(h, snap, nil))
+}
+
+// leaseEntry is a batch of leases sharing one expiry instant.
+type leaseEntry struct {
+	exp time.Time
+	n   int
+}
+
+// leaseQueue tracks a site's exclusive-temporal-access leases as a
+// count plus a queue of expiry batches. Lease durations are a broker
+// constant, so expiries are pushed in non-decreasing order and the
+// earliest expiry is always at the head: pruning pops expired batches
+// from the front in O(1) amortized, replacing the per-CPU slice the
+// broker previously rebuilt on every pass.
+type leaseQueue struct {
+	entries []leaseEntry
+	head    int
+	count   int
+}
+
+// push adds n leases expiring at exp, merging with the newest batch
+// when the expiry matches (several CPUs leased in one pass).
+func (q *leaseQueue) push(exp time.Time, n int) {
+	if last := len(q.entries) - 1; last >= q.head && q.entries[last].exp.Equal(exp) {
+		q.entries[last].n += n
+	} else {
+		q.entries = append(q.entries, leaseEntry{exp: exp, n: n})
+	}
+	q.count += n
+}
+
+// prune drops batches whose expiry has passed and returns the live
+// lease count.
+func (q *leaseQueue) prune(now time.Time) int {
+	for q.head < len(q.entries) && !q.entries[q.head].exp.After(now) {
+		q.count -= q.entries[q.head].n
+		q.entries[q.head] = leaseEntry{}
+		q.head++
+	}
+	if q.head == len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	}
+	return q.count
+}
+
+// drop releases n leases from the newest batches (the job started or
+// failed, so the most recent reservation is undone), mirroring the
+// previous slice truncation.
+func (q *leaseQueue) drop(n int) {
+	for n > 0 && len(q.entries) > q.head {
+		last := len(q.entries) - 1
+		if q.entries[last].n > n {
+			q.entries[last].n -= n
+			q.count -= n
+			return
+		}
+		n -= q.entries[last].n
+		q.count -= q.entries[last].n
+		q.entries = q.entries[:last]
+	}
+	if q.head == len(q.entries) {
+		q.entries = q.entries[:0]
+		q.head = 0
+	}
+}
+
 // activeLeases counts unexpired leases for a site, pruning expired
 // ones.
 func (b *Broker) activeLeases(name string) int {
-	now := b.sim.Now()
-	ls := b.leases[name]
-	live := ls[:0]
-	for _, exp := range ls {
-		if exp.After(now) {
-			live = append(live, exp)
-		}
+	q := b.leases[name]
+	if q == nil {
+		return 0
 	}
-	b.leases[name] = live
-	return len(live)
+	return q.prune(b.sim.Now())
 }
 
 // lease reserves n CPUs on a site for the exclusive-temporal-access
 // window.
 func (b *Broker) lease(name string, n int) {
-	exp := b.sim.Now().Add(b.cfg.LeaseDuration)
-	for i := 0; i < n; i++ {
-		b.leases[name] = append(b.leases[name], exp)
+	q := b.leases[name]
+	if q == nil {
+		q = &leaseQueue{}
+		b.leases[name] = q
 	}
+	q.push(b.sim.Now().Add(b.cfg.LeaseDuration), n)
 }
 
 // unlease releases n leases on a site (the job started or failed).
 func (b *Broker) unlease(name string, n int) {
-	ls := b.leases[name]
-	if n >= len(ls) {
-		b.leases[name] = ls[:0]
-		return
+	if q := b.leases[name]; q != nil {
+		q.drop(n)
 	}
-	b.leases[name] = ls[:len(ls)-n]
 }
 
 // admissionOK applies the fair-share rejection rule when resources are
@@ -171,7 +332,11 @@ func (b *Broker) kickDispatch() {
 }
 
 // dispatchPending retries queued batch jobs, best fair-share priority
-// first.
+// first. Priorities are snapshotted before sorting: fair-share
+// priorities decay over time, and calling Priority inside the
+// comparator lets a mid-sort decay produce inconsistent comparisons
+// (a strict-weak-ordering violation sort.SliceStable may answer with
+// an arbitrary permutation).
 func (b *Broker) dispatchPending() {
 	if len(b.pendingBatch) == 0 {
 		return
@@ -179,9 +344,20 @@ func (b *Broker) dispatchPending() {
 	queue := b.pendingBatch
 	b.pendingBatch = nil
 	if b.cfg.Fair != nil {
-		sort.SliceStable(queue, func(i, j int) bool {
-			return b.cfg.Fair.Priority(queue[i].request.User) < b.cfg.Fair.Priority(queue[j].request.User)
-		})
+		prio := make([]float64, len(queue))
+		for i, h := range queue {
+			prio[i] = b.cfg.Fair.Priority(h.request.User)
+		}
+		order := make([]int, len(queue))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool { return prio[order[i]] < prio[order[j]] })
+		sorted := make([]*Handle, len(queue))
+		for i, k := range order {
+			sorted[i] = queue[k]
+		}
+		queue = sorted
 	}
 	for _, h := range queue {
 		h := h

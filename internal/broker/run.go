@@ -77,12 +77,12 @@ func (b *Broker) runBody(h *Handle, rc *RunContext) {
 
 func (b *Broker) runBatch(h *Handle) {
 	job := h.request.Job
-	recs := b.discover(h)
-	if len(recs) == 0 {
+	snap := b.discover(h)
+	if snap.Len() == 0 {
 		b.fail(h, ErrNoMatch)
 		return
 	}
-	cands := b.selection(h, recs, nil)
+	cands := b.selection(h, snap, nil)
 	if len(cands) == 0 {
 		b.fail(h, ErrNoMatch)
 		return
@@ -197,8 +197,8 @@ func (b *Broker) wireAgent(agent *glidein.Agent, st *site.Site) {
 
 func (b *Broker) runInteractiveExclusive(h *Handle) {
 	job := h.request.Job
-	recs := b.discover(h)
-	cands := b.selection(h, recs, nil)
+	snap := b.discover(h)
+	cands := b.selection(h, snap, nil)
 	if len(cands) == 0 {
 		b.fail(h, ErrNoMatch)
 		return
@@ -352,8 +352,8 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 	// Fill the shortfall with fresh agents on idle machines, "in a
 	// similar way to the case of a batch job".
 	if len(chosen) < need {
-		recs := b.discover(h)
-		cands := b.selection(h, recs, nil)
+		snap := b.discover(h)
+		cands := b.selection(h, snap, nil)
 		for i := range cands {
 			for len(chosen) < need && cands[i].free > 0 {
 				agent, bh, err := glidein.LaunchWithOptions(b.sim, cands[i].site, nil, 10,

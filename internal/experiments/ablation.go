@@ -74,13 +74,14 @@ type LeaseSweepResult struct {
 // LeaseSweep measures the exclusive-temporal-access mechanism: a burst
 // of concurrent interactive submissions against a small grid, across
 // lease durations. Longer leases prevent double allocation (fewer
-// resubmissions) at the cost of conservative matching.
+// resubmissions) at the cost of conservative matching. Each lease
+// duration is an independent simulation, run as a parallel cell.
 func LeaseSweep(leases []time.Duration, jobs, sitesN int, seed int64) ([]LeaseSweepResult, error) {
 	if len(leases) == 0 {
 		leases = []time.Duration{0, time.Second, 10 * time.Second, time.Minute}
 	}
-	var out []LeaseSweepResult
-	for _, lease := range leases {
+	return runCells(len(leases), 0, func(i int) (LeaseSweepResult, error) {
+		lease := leases[i]
 		sim := simclock.NewSim(time.Time{})
 		info := infosys.New(sim, 250*time.Millisecond)
 		cfg := broker.Config{Sim: sim, Info: info, Seed: seed, QueueTimeout: 5 * time.Second}
@@ -120,7 +121,7 @@ func LeaseSweep(leases []time.Duration, jobs, sitesN int, seed int64) ([]LeaseSw
 		}
 		sim.RunFor(time.Hour)
 		if submitErr != nil {
-			return nil, submitErr
+			return LeaseSweepResult{}, submitErr
 		}
 		res := LeaseSweepResult{Lease: lease}
 		for _, h := range handles {
@@ -132,9 +133,8 @@ func LeaseSweep(leases []time.Duration, jobs, sitesN int, seed int64) ([]LeaseSw
 			}
 			res.Resubmissions += h.Resubmissions()
 		}
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // SelectionPolicyResult compares randomized vs deterministic
@@ -195,15 +195,9 @@ func SelectionPolicy(jobs, sitesN int) ([]SelectionPolicyResult, error) {
 		res.DistinctSites = len(seen)
 		return res, nil
 	}
-	det, err := run(false)
-	if err != nil {
-		return nil, err
-	}
-	rnd, err := run(true)
-	if err != nil {
-		return nil, err
-	}
-	return []SelectionPolicyResult{det, rnd}, nil
+	return runCells(2, 0, func(i int) (SelectionPolicyResult, error) {
+		return run(i == 1)
+	})
 }
 
 // QuantumSweepResult reports stride-scheduler division accuracy for
@@ -224,22 +218,21 @@ func QuantumSweep(quanta []time.Duration, iterations int) ([]QuantumSweepResult,
 	if iterations <= 0 {
 		iterations = 50
 	}
-	var out []QuantumSweepResult
-	for _, q := range quanta {
+	return runCells(len(quanta), 0, func(i int) (QuantumSweepResult, error) {
+		q := quanta[i]
 		ref, err := fig8Exclusive(Fig8Config{Iterations: iterations, Quantum: q})
 		if err != nil {
-			return nil, err
+			return QuantumSweepResult{}, err
 		}
 		shared, err := fig8Shared(Fig8Config{Iterations: iterations, Quantum: q}, 25)
 		if err != nil {
-			return nil, err
+			return QuantumSweepResult{}, err
 		}
-		out = append(out, QuantumSweepResult{
+		return QuantumSweepResult{
 			Quantum:      q,
 			MeasuredLoss: shared.CPU.Summarize().Mean/ref.CPU.Summarize().Mean - 1,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // DegreeSweepResult reports interactive interference at one
@@ -268,8 +261,8 @@ func DegreeSweep(degrees []int, jobs int) ([]DegreeSweepResult, error) {
 	if jobs <= 0 {
 		jobs = 4
 	}
-	var out []DegreeSweepResult
-	for _, degree := range degrees {
+	return runCells(len(degrees), 0, func(i int) (DegreeSweepResult, error) {
+		degree := degrees[i]
 		sim := simclock.NewSim(time.Time{})
 		info := infosys.New(sim, 100*time.Millisecond)
 		b := broker.New(broker.Config{Sim: sim, Info: info, AgentDegree: degree})
@@ -306,7 +299,7 @@ func DegreeSweep(degrees []int, jobs int) ([]DegreeSweepResult, error) {
 		}
 		sim.RunFor(12 * time.Hour)
 		if submitErr != nil {
-			return nil, submitErr
+			return DegreeSweepResult{}, submitErr
 		}
 		res := DegreeSweepResult{Degree: degree}
 		for _, h := range handles {
@@ -315,9 +308,8 @@ func DegreeSweep(degrees []int, jobs int) ([]DegreeSweepResult, error) {
 			}
 		}
 		res.MeanBurst = burst.Summarize().Mean
-		out = append(out, res)
-	}
-	return out, nil
+		return res, nil
+	})
 }
 
 // FairShareUser is one user's final state in the fair-share scenario.

@@ -18,6 +18,9 @@ func TestPingPongSuiteShapeCampus(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time experiment")
 	}
+	if raceEnabled {
+		t.Skip("wall-clock shape comparisons are unreliable under the race detector")
+	}
 	res, err := PingPongSuite(PingPongConfig{
 		Profile:  fastCampus(),
 		Sizes:    []int{10, 10000},
@@ -67,6 +70,9 @@ func TestPingPongSuiteShapeCampus(t *testing.T) {
 func TestPingPongSuiteShapeWAN(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time experiment")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock shape comparisons are unreliable under the race detector")
 	}
 	res, err := PingPongSuite(PingPongConfig{
 		Profile:  fastWAN(),
@@ -227,6 +233,9 @@ func TestFig8Shape(t *testing.T) {
 func TestBlockSizeSweepMonotone(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real-time experiment")
+	}
+	if raceEnabled {
+		t.Skip("wall-clock shape comparisons are unreliable under the race detector")
 	}
 	res, err := BlockSizeSweep(fastCampus(), []int{256, 4096}, 20)
 	if err != nil {

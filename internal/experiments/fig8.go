@@ -33,6 +33,9 @@ type Fig8Config struct {
 	PerformanceLosses []int
 	// Quantum overrides the stride scheduler quantum (0 = default).
 	Quantum time.Duration
+	// Workers bounds how many cases are simulated concurrently; 0 uses
+	// one per CPU.
+	Workers int
 }
 
 func (c *Fig8Config) setDefaults() {
@@ -75,31 +78,20 @@ type Fig8Case struct {
 // Fig8 reproduces the multiprogramming overhead experiment: the
 // 1,000-iteration interactive loop in exclusive mode, in shared mode
 // with an empty batch VM, and in shared mode against a CPU-bound batch
-// job at each configured PerformanceLoss.
+// job at each configured PerformanceLoss. The cases are independent
+// single-machine simulations, run as parallel cells.
 func Fig8(cfg Fig8Config) ([]Fig8Case, error) {
 	cfg.setDefaults()
-	var out []Fig8Case
-
-	excl, err := fig8Exclusive(cfg)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, excl)
-
-	alone, err := fig8Shared(cfg, -1)
-	if err != nil {
-		return nil, err
-	}
-	out = append(out, alone)
-
-	for _, pl := range cfg.PerformanceLosses {
-		c, err := fig8Shared(cfg, pl)
-		if err != nil {
-			return nil, err
+	return runCells(2+len(cfg.PerformanceLosses), cfg.Workers, func(i int) (Fig8Case, error) {
+		switch i {
+		case 0:
+			return fig8Exclusive(cfg)
+		case 1:
+			return fig8Shared(cfg, -1)
+		default:
+			return fig8Shared(cfg, cfg.PerformanceLosses[i-2])
 		}
-		out = append(out, c)
-	}
-	return out, nil
+	})
 }
 
 // fig8Loop runs the measured iteration loop on a slot.

@@ -56,6 +56,9 @@ type LoadSweepConfig struct {
 	BatchWork time.Duration
 	// Seed drives randomized selection.
 	Seed int64
+	// Workers bounds how many (load, policy) points are simulated
+	// concurrently; 0 uses one per CPU.
+	Workers int
 }
 
 func (c *LoadSweepConfig) setDefaults() {
@@ -76,28 +79,36 @@ func (c *LoadSweepConfig) setDefaults() {
 	}
 }
 
-// LoadSweep measures each load level under both policies.
+// LoadSweep measures each load level under both policies. The
+// (load, policy) points are independent simulations, run as parallel
+// cells; the batch-slowdown pairing happens after the deterministic
+// merge.
 func LoadSweep(loads []float64, cfg LoadSweepConfig) ([]LoadPoint, error) {
 	cfg.setDefaults()
 	if len(loads) == 0 {
 		loads = []float64{0, 0.5, 1.0}
 	}
-	var out []LoadPoint
-	for _, load := range loads {
-		excl, err := loadPoint(load, false, cfg)
+	out, err := runCells(2*len(loads), cfg.Workers, func(i int) (LoadPoint, error) {
+		load, mp := loads[i/2], i%2 == 1
+		p, err := loadPoint(load, mp, cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: load %.2f exclusive: %w", load, err)
+			policy := "exclusive"
+			if mp {
+				policy = "multiprogramming"
+			}
+			return p, fmt.Errorf("experiments: load %.2f %s: %w", load, policy, err)
 		}
-		mp, err := loadPoint(load, true, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: load %.2f multiprogramming: %w", load, err)
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Batch slowdown: multiprogramming elapsed vs exclusive-only
+	// elapsed at the same load.
+	for i := 0; i+1 < len(out); i += 2 {
+		if excl := out[i]; excl.meanBatchElapsed > 0 {
+			out[i+1].BatchSlowdownPct = (out[i+1].meanBatchElapsed/excl.meanBatchElapsed - 1) * 100
 		}
-		// Batch slowdown: multiprogramming elapsed vs exclusive-only
-		// elapsed at the same load.
-		if excl.meanBatchElapsed > 0 {
-			mp.BatchSlowdownPct = (mp.meanBatchElapsed/excl.meanBatchElapsed - 1) * 100
-		}
-		out = append(out, excl, mp)
 	}
 	return out, nil
 }

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCellsOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 0} {
+		got, err := runCells(25, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 25 {
+			t.Fatalf("workers=%d: %d results, want 25", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d = %d, want %d (results must merge in cell order)", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	got, err := runCells(0, 4, func(i int) (int, error) { return 0, nil })
+	if got != nil || err != nil {
+		t.Fatalf("empty run: %v, %v", got, err)
+	}
+}
+
+func TestRunCellsLowestIndexError(t *testing.T) {
+	err3 := errors.New("cell 3")
+	err7 := errors.New("cell 7")
+	_, err := runCells(10, 8, func(i int) (int, error) {
+		switch i {
+		case 3:
+			return 0, err3
+		case 7:
+			return 0, err7
+		}
+		return i, nil
+	})
+	if !errors.Is(err, err3) {
+		t.Fatalf("got %v, want the lowest-indexed cell error %v", err, err3)
+	}
+}
+
+func TestRunCellsSerialFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	_, err := runCells(10, 1, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("serial run invoked %d cells after the failure, want fail-fast (3 calls)", got)
+	}
+}
+
+// TestTableIByteIdenticalAcrossWorkers is the determinism acceptance
+// test: the rendered Table I must be byte-identical whatever the
+// worker count, because each run cell derives its seed from the run
+// index alone and results merge in run order.
+func TestTableIByteIdenticalAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		rows, err := TableI(TableIConfig{Sites: 5, Runs: 4, Scenario: Campus, Seed: 2006, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderTableI(Campus, rows)
+	}
+	serial := render(1)
+	for _, workers := range []int{2, 4, 0} {
+		if got := render(workers); got != serial {
+			t.Fatalf("workers=%d output differs from serial:\n%s\n--- vs ---\n%s", workers, got, serial)
+		}
+	}
+	// And re-running the serial case reproduces itself exactly.
+	if again := render(1); again != serial {
+		t.Fatalf("serial rerun differs:\n%s\n--- vs ---\n%s", again, serial)
+	}
+}
+
+func TestLoadSweepDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		pts, err := LoadSweep([]float64{0, 1.0}, LoadSweepConfig{
+			Sites: 2, NodesPerSite: 2, Interactive: 3, Seed: 7, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderLoadSweep(pts)
+	}
+	serial := render(1)
+	if got := render(4); got != serial {
+		t.Fatalf("parallel load sweep differs from serial:\n%s\n--- vs ---\n%s", got, serial)
+	}
+}
+
+func TestWorkersPositive(t *testing.T) {
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d", Workers())
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
+	"path/filepath"
 	"time"
 
 	"crossbroker/internal/baseline"
@@ -61,6 +63,12 @@ type PingPongConfig struct {
 	// (default 150 µs — the era calibration for the paper's worker
 	// nodes; see EXPERIMENTS.md).
 	DiskCost time.Duration
+	// Workers bounds how many (method, size) cells run concurrently.
+	// Unlike the virtual-time experiments this suite measures real
+	// elapsed time, so concurrent cells perturb each other's numbers;
+	// the default (0) therefore stays serial. Each parallel cell
+	// spills into its own subdirectory of SpillDir.
+	Workers int
 }
 
 func (c *PingPongConfig) setDefaults() {
@@ -88,16 +96,47 @@ type PingPongResult map[Method]map[int]*metrics.Series
 // execution machine, over the configured network profile.
 func PingPongSuite(cfg PingPongConfig) (PingPongResult, error) {
 	cfg.setDefaults()
-	out := make(PingPongResult)
-	for _, m := range AllMethods() {
-		out[m] = make(map[int]*metrics.Series)
+	methods := AllMethods()
+	type cellKey struct {
+		m    Method
+		size int
+	}
+	var keys []cellKey
+	for _, m := range methods {
 		for _, size := range cfg.Sizes {
-			s, err := pingPongOne(m, size, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%dB: %w", m, size, err)
-			}
-			out[m][size] = s
+			keys = append(keys, cellKey{m, size})
 		}
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 1 // real-time measurement: serial unless opted in
+	}
+	series, err := runCells(len(keys), workers, func(i int) (*metrics.Series, error) {
+		c := cfg
+		if workers > 1 {
+			// Spill files are named by pid and subjob index, so
+			// concurrent cells must not share a spill directory.
+			dir := filepath.Join(cfg.SpillDir, fmt.Sprintf("cell-%03d", i))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+			c.SpillDir = dir
+		}
+		s, err := pingPongOne(keys[i].m, keys[i].size, c)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s/%dB: %w", keys[i].m, keys[i].size, err)
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(PingPongResult)
+	for i, k := range keys {
+		if out[k.m] == nil {
+			out[k.m] = make(map[int]*metrics.Series)
+		}
+		out[k.m][k.size] = series[i]
 	}
 	return out, nil
 }

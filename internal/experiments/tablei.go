@@ -40,8 +40,13 @@ type TableIConfig struct {
 	Runs int
 	// Scenario places the execution machine.
 	Scenario Scenario
-	// Seed drives the broker's randomized selection.
+	// Seed drives the broker's randomized selection; each run derives
+	// its own sub-seed, so results do not depend on scheduling.
 	Seed int64
+	// Workers bounds the number of runs simulated concurrently
+	// (independent Sim instances on real goroutines); 0 uses one per
+	// CPU. The output is identical for any worker count.
+	Workers int
 }
 
 func (c *TableIConfig) setDefaults() {
@@ -80,9 +85,18 @@ const (
 	gloginShellStart   = 9400 * time.Millisecond
 )
 
+// tableICell is one run's measurements: the glogin baseline plus the
+// three broker methods (idle, virtual machine, job+agent).
+type tableICell struct {
+	glogin         time.Duration
+	disc, sel, sub [3]time.Duration
+}
+
 // TableI reproduces the paper's response-time table: 100 submissions
 // per method over a grid of 20 sites, with the execution machine on
-// the campus network or at IFCA.
+// the campus network or at IFCA. Runs are independent (seed, run)
+// cells, each simulated on its own Sim instance across a worker pool
+// and merged in run order.
 func TableI(cfg TableIConfig) ([]TableIRow, error) {
 	cfg.setDefaults()
 	rows := []TableIRow{
@@ -98,10 +112,41 @@ func TableI(cfg TableIConfig) ([]TableIRow, error) {
 		sub[i] = metrics.NewSeries("submission")
 	}
 
+	cells, err := runCells(cfg.Runs, cfg.Workers, func(run int) (tableICell, error) {
+		// A distinct prime-stride sub-seed per run keeps the randomized
+		// selection streams independent of both each other and the
+		// worker schedule.
+		return tableIRun(cfg, cfg.Seed+int64(run)*7919)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		sub[0].AddDuration(c.glogin)
+		for m := 0; m < 3; m++ {
+			disc[m+1].AddDuration(c.disc[m])
+			sel[m+1].AddDuration(c.sel[m])
+			sub[m+1].AddDuration(c.sub[m])
+		}
+	}
+
+	for i := range rows {
+		rows[i].Discovery = disc[i].Summarize()
+		rows[i].Selection = sel[i].Summarize()
+		rows[i].Submission = sub[i].Summarize()
+	}
+	return rows, nil
+}
+
+// tableIRun simulates one run cell: a fresh grid, one provisioned
+// agent, then one submission per method.
+func tableIRun(cfg TableIConfig, seed int64) (tableICell, error) {
+	var cell tableICell
+
 	sim := simclock.NewSim(time.Time{})
 	execProfile := cfg.Scenario.profile()
 	info := infosys.New(sim, 500*time.Millisecond) // the index lives in Germany: ~0.5 s per query
-	b := broker.New(broker.Config{Sim: sim, Info: info, Seed: cfg.Seed})
+	b := broker.New(broker.Config{Sim: sim, Info: info, Seed: seed})
 
 	// The execution site lives on the scenario network and is always
 	// preferred by rank; the remaining sites are scattered over the
@@ -130,11 +175,11 @@ func TableI(cfg TableIConfig) ([]TableIRow, error) {
 	agentJob := &jdl.Job{Executable: "background_batch", NodeNumber: 1, Rank: &rank}
 	ha, err := b.Submit(broker.Request{Job: agentJob, User: "batchowner", CPU: 1000 * time.Hour})
 	if err != nil {
-		return nil, err
+		return cell, err
 	}
 	sim.RunFor(5 * time.Minute)
 	if ha.State() != broker.Running {
-		return nil, fmt.Errorf("experiments: agent provisioning failed: %v %v", ha.State(), ha.Err())
+		return cell, fmt.Errorf("experiments: agent provisioning failed: %v %v", ha.State(), ha.Err())
 	}
 
 	runOne := func(method int, req broker.Request) error {
@@ -145,65 +190,53 @@ func TableI(cfg TableIConfig) ([]TableIRow, error) {
 		// Generous horizon; jobs are short.
 		sim.RunFor(15 * time.Minute)
 		if h.State() != broker.Done {
-			return fmt.Errorf("experiments: %s run failed: %v %v", rows[method].Method, h.State(), h.Err())
+			return fmt.Errorf("experiments: method %d run failed: %v %v", method, h.State(), h.Err())
 		}
-		disc[method].AddDuration(h.Phases.Discovery)
-		sel[method].AddDuration(h.Phases.Selection)
-		sub[method].AddDuration(h.Phases.Submission)
+		cell.disc[method] = h.Phases.Discovery
+		cell.sel[method] = h.Phases.Selection
+		cell.sub[method] = h.Phases.Submission
 		return nil
 	}
 
-	for run := 0; run < cfg.Runs; run++ {
-		// Glogin: destination chosen by hand; gatekeeper traversal,
-		// session setup transfer, remote shell start.
-		start := sim.Now()
-		var took time.Duration
-		sim.Go(func() {
-			c := execSite.Costs()
-			sim.Sleep(execProfile.RTT() + c.Auth + c.GRAM)
-			sim.Sleep(execProfile.TransferTime(gloginSessionBytes))
-			sim.Sleep(gloginShellStart)
-			took = sim.Since(start)
-		})
-		sim.RunFor(5 * time.Minute)
-		sub[0].AddDuration(took)
+	// Glogin: destination chosen by hand; gatekeeper traversal,
+	// session setup transfer, remote shell start.
+	start := sim.Now()
+	sim.Go(func() {
+		c := execSite.Costs()
+		sim.Sleep(execProfile.RTT() + c.Auth + c.GRAM)
+		sim.Sleep(execProfile.TransferTime(gloginSessionBytes))
+		sim.Sleep(gloginShellStart)
+		cell.glogin = sim.Since(start)
+	})
+	sim.RunFor(5 * time.Minute)
 
-		// Idle: interactive job in exclusive mode.
-		if err := runOne(1, broker.Request{
-			Job: &jdl.Job{Executable: "iapp", Interactive: true, NodeNumber: 1,
-				Access: jdl.ExclusiveAccess, Rank: &rank},
-			User: "user1", CPU: time.Second,
-		}); err != nil {
-			return nil, err
-		}
-
-		// Virtual machine: interactive job in shared mode, landing on
-		// the provisioned agent.
-		if err := runOne(2, broker.Request{
-			Job: &jdl.Job{Executable: "iapp", Interactive: true, NodeNumber: 1,
-				Access: jdl.SharedAccess, PerformanceLoss: 10},
-			User: "user2", CPU: time.Second,
-		}); err != nil {
-			return nil, err
-		}
-
-		// Job+agent: a batch job submitted together with its agent.
-		if err := runOne(3, broker.Request{
-			Job:  &jdl.Job{Executable: "bapp", NodeNumber: 1, Rank: &rank},
-			User: "user3", CPU: time.Second,
-		}); err != nil {
-			return nil, err
-		}
-		// Let agents from the batch row drain away.
-		sim.RunFor(10 * time.Minute)
+	// Idle: interactive job in exclusive mode.
+	if err := runOne(0, broker.Request{
+		Job: &jdl.Job{Executable: "iapp", Interactive: true, NodeNumber: 1,
+			Access: jdl.ExclusiveAccess, Rank: &rank},
+		User: "user1", CPU: time.Second,
+	}); err != nil {
+		return cell, err
 	}
 
-	for i := range rows {
-		rows[i].Discovery = disc[i].Summarize()
-		rows[i].Selection = sel[i].Summarize()
-		rows[i].Submission = sub[i].Summarize()
+	// Virtual machine: interactive job in shared mode, landing on
+	// the provisioned agent.
+	if err := runOne(1, broker.Request{
+		Job: &jdl.Job{Executable: "iapp", Interactive: true, NodeNumber: 1,
+			Access: jdl.SharedAccess, PerformanceLoss: 10},
+		User: "user2", CPU: time.Second,
+	}); err != nil {
+		return cell, err
 	}
-	return rows, nil
+
+	// Job+agent: a batch job submitted together with its agent.
+	if err := runOne(2, broker.Request{
+		Job:  &jdl.Job{Executable: "bapp", NodeNumber: 1, Rank: &rank},
+		User: "user3", CPU: time.Second,
+	}); err != nil {
+		return cell, err
+	}
+	return cell, nil
 }
 
 // RenderTableI formats rows like the paper's Table I.

@@ -13,11 +13,22 @@
 //     must re-contact sites directly for up-to-date queue state during
 //     the selection phase (which is why selection costs ~3 s for 20
 //     sites in Table I).
+//
+// Discovery is the first step of the latency-critical selection path
+// ("the user is waiting"), so queries are served from immutable,
+// epoch-versioned snapshots built copy-on-write: Publish and Remove
+// bump the epoch, and the snapshot is rebuilt at most once per epoch
+// no matter how many brokers query it. Snapshots also carry each
+// record's matchmaking attributes as a flat value slice keyed by a
+// shared Schema, which is what the compiled JDL predicates (package
+// jdl) index into, via MatchAttrs vectors recycled through a
+// sync.Pool.
 package infosys
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -53,7 +64,9 @@ func (r SiteRecord) Clone() SiteRecord {
 }
 
 // MatchAttrs merges the static attributes with the dynamic queue state
-// for Requirements/Rank evaluation.
+// for Requirements/Rank evaluation. It allocates a fresh map per call;
+// the selection hot path uses Snapshot.MatchAttrs instead, which
+// recycles flat vectors through a pool.
 func (r SiteRecord) MatchAttrs() map[string]any {
 	m := make(map[string]any, len(r.Attrs)+3)
 	for k, v := range r.Attrs {
@@ -65,6 +78,295 @@ func (r SiteRecord) MatchAttrs() map[string]any {
 	return m
 }
 
+// The dynamic attribute names present in every schema.
+const (
+	AttrTotalCPUs  = "TotalCPUs"
+	AttrFreeCPUs   = "FreeCPUs"
+	AttrQueuedJobs = "QueuedJobs"
+)
+
+// Schema maps attribute names to offsets in the flat value slices of
+// one snapshot generation. A schema is immutable once built; snapshot
+// rebuilds reuse the previous schema pointer whenever the attribute
+// name set is unchanged, so compiled predicates cached against it stay
+// valid across epochs.
+type Schema struct {
+	names []string       // canonical spellings, sorted
+	index map[string]int // lower-cased name -> offset
+}
+
+// newSchema builds a schema over the given attribute names plus the
+// dynamic queue-state attributes. Names that collide case-insensitively
+// collapse onto one offset (first spelling wins), matching the JDL
+// evaluator's case-insensitive attribute lookup.
+func newSchema(names []string) *Schema {
+	sc := &Schema{index: make(map[string]int, len(names)+3)}
+	add := func(name string) {
+		key := strings.ToLower(name)
+		if _, dup := sc.index[key]; dup {
+			return
+		}
+		sc.index[key] = len(sc.names)
+		sc.names = append(sc.names, name)
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		add(n)
+	}
+	add(AttrTotalCPUs)
+	add(AttrFreeCPUs)
+	add(AttrQueuedJobs)
+	return sc
+}
+
+// Len reports the number of attribute slots.
+func (sc *Schema) Len() int { return len(sc.names) }
+
+// Names returns a copy of the canonical attribute names in offset
+// order.
+func (sc *Schema) Names() []string { return append([]string(nil), sc.names...) }
+
+// Offset resolves an attribute name, case-insensitively, to its slot.
+func (sc *Schema) Offset(name string) (int, bool) {
+	if i, ok := sc.index[name]; ok {
+		return i, true
+	}
+	i, ok := sc.index[strings.ToLower(name)]
+	return i, ok
+}
+
+// sameNames reports whether the schema covers exactly the given static
+// name set (case-insensitively), i.e. whether it can be reused for a
+// snapshot over those attributes.
+func (sc *Schema) sameNames(lowered map[string]bool) bool {
+	if len(sc.index) != len(lowered)+3 {
+		return false
+	}
+	for k := range lowered {
+		if _, ok := sc.index[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot is an immutable view of the registry at one epoch. All
+// queries between two mutations share the same snapshot allocation;
+// accessors that expose mutable data (Record, Records) return deep
+// copies, so callers cannot reach published state through a snapshot.
+type Snapshot struct {
+	epoch  uint64
+	schema *Schema
+	recs   []SiteRecord // sorted by name; Attrs maps private to the snapshot
+	vals   [][]any      // per-record attribute values in schema order, normalized
+}
+
+// newSnapshot builds a snapshot over recs (which must already be
+// private clones), reusing prev's schema when the attribute name set
+// is unchanged.
+func newSnapshot(epoch uint64, recs []SiteRecord, prev *Snapshot) *Snapshot {
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+
+	lowered := make(map[string]bool)
+	for _, r := range recs {
+		for k := range r.Attrs {
+			lowered[strings.ToLower(k)] = true
+		}
+	}
+	delete(lowered, strings.ToLower(AttrTotalCPUs))
+	delete(lowered, strings.ToLower(AttrFreeCPUs))
+	delete(lowered, strings.ToLower(AttrQueuedJobs))
+
+	var schema *Schema
+	if prev != nil && prev.schema.sameNames(lowered) {
+		schema = prev.schema
+	} else {
+		names := make([]string, 0, len(lowered))
+		seen := make(map[string]bool, len(lowered))
+		for _, r := range recs {
+			for k := range r.Attrs {
+				lk := strings.ToLower(k)
+				if !seen[lk] && lk != "totalcpus" && lk != "freecpus" && lk != "queuedjobs" {
+					seen[lk] = true
+					names = append(names, k)
+				}
+			}
+		}
+		schema = newSchema(names)
+	}
+
+	s := &Snapshot{epoch: epoch, schema: schema, recs: recs, vals: make([][]any, len(recs))}
+	for i, r := range recs {
+		v := make([]any, schema.Len())
+		for k, raw := range r.Attrs {
+			if off, ok := schema.Offset(k); ok {
+				v[off] = normalizeAttr(raw)
+			}
+		}
+		if off, ok := schema.Offset(AttrTotalCPUs); ok {
+			v[off] = float64(r.TotalCPUs)
+		}
+		if off, ok := schema.Offset(AttrFreeCPUs); ok {
+			v[off] = float64(r.FreeCPUs)
+		}
+		if off, ok := schema.Offset(AttrQueuedJobs); ok {
+			v[off] = float64(r.QueuedJobs)
+		}
+		s.vals[i] = v
+	}
+	return s
+}
+
+// NewSnapshot builds a standalone snapshot from records — for brokers
+// running without an information service, and for tests and
+// benchmarks. Records are cloned; prev (may be nil) allows schema
+// reuse across rebuilds so compiled predicates stay cached.
+func NewSnapshot(recs []SiteRecord, prev *Snapshot) *Snapshot {
+	cloned := make([]SiteRecord, len(recs))
+	for i, r := range recs {
+		cloned[i] = r.Clone()
+	}
+	var epoch uint64
+	if prev != nil {
+		epoch = prev.epoch + 1
+	}
+	return newSnapshot(epoch, cloned, prev)
+}
+
+// normalizeAttr converts integer attribute values to float64 (the JDL
+// evaluator's numeric type) so per-evaluation normalization and its
+// boxing disappear from the hot path. Unsupported types are kept as
+// published and fail at evaluation time, as before.
+func normalizeAttr(v any) any {
+	switch x := v.(type) {
+	case string, bool, float64:
+		return x
+	case float32:
+		return float64(x)
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case uint:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	}
+	return v
+}
+
+// Epoch identifies the registry generation this snapshot reflects.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Schema returns the attribute schema shared by every record of this
+// snapshot. It satisfies jdl.Resolver for predicate compilation.
+func (s *Snapshot) Schema() *Schema { return s.schema }
+
+// Len reports the number of site records.
+func (s *Snapshot) Len() int { return len(s.recs) }
+
+// Name returns the name of record i without copying the record.
+func (s *Snapshot) Name(i int) string { return s.recs[i].Name }
+
+// Record returns a deep copy of record i, so mutations cannot reach
+// the snapshot or the registry.
+func (s *Snapshot) Record(i int) SiteRecord { return s.recs[i].Clone() }
+
+// Records returns deep copies of all records, sorted by site name.
+func (s *Snapshot) Records() []SiteRecord {
+	out := make([]SiteRecord, len(s.recs))
+	for i, r := range s.recs {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// MatchAttrs returns a pooled flat attribute vector for record i,
+// preloaded with the record's static attributes and publish-time queue
+// state. Callers overlay fresh dynamic state with Set, evaluate, and
+// must Release the vector afterwards.
+func (s *Snapshot) MatchAttrs(i int) *MatchAttrs {
+	m := matchAttrsPool.Get().(*MatchAttrs)
+	m.schema = s.schema
+	src := s.vals[i]
+	if cap(m.vals) < len(src) {
+		m.vals = make([]any, len(src))
+	} else {
+		m.vals = m.vals[:len(src)]
+	}
+	copy(m.vals, src)
+	return m
+}
+
+// MatchAttrs is a reusable flat attribute vector (one value slot per
+// schema offset) used for Requirements/Rank evaluation against one
+// candidate. Vectors are recycled through a sync.Pool; a Released
+// vector must not be used again.
+type MatchAttrs struct {
+	schema *Schema
+	vals   []any
+}
+
+var matchAttrsPool = sync.Pool{New: func() any { return &MatchAttrs{} }}
+
+// Schema returns the schema the vector is laid out against.
+func (m *MatchAttrs) Schema() *Schema { return m.schema }
+
+// Values exposes the flat value slice compiled predicates index into.
+func (m *MatchAttrs) Values() []any { return m.vals }
+
+// Set overrides one attribute (normalizing integers to float64),
+// reporting whether the name exists in the schema.
+func (m *MatchAttrs) Set(name string, v any) bool {
+	off, ok := m.schema.Offset(name)
+	if !ok {
+		return false
+	}
+	m.vals[off] = normalizeAttr(v)
+	return true
+}
+
+// SetFloat overrides a numeric attribute without boxing through
+// normalizeAttr's any parameter.
+func (m *MatchAttrs) SetFloat(name string, v float64) bool {
+	off, ok := m.schema.Offset(name)
+	if !ok {
+		return false
+	}
+	m.vals[off] = v
+	return true
+}
+
+// Get reads one attribute by name (case-insensitively).
+func (m *MatchAttrs) Get(name string) (any, bool) {
+	off, ok := m.schema.Offset(name)
+	if !ok || m.vals[off] == nil {
+		return nil, false
+	}
+	return m.vals[off], true
+}
+
+// Map materializes the vector as an attribute map, for the uncompiled
+// evaluation path and debugging.
+func (m *MatchAttrs) Map() map[string]any {
+	out := make(map[string]any, len(m.vals))
+	for i, v := range m.vals {
+		if v != nil {
+			out[m.schema.names[i]] = v
+		}
+	}
+	return out
+}
+
+// Release returns the vector to the pool.
+func (m *MatchAttrs) Release() {
+	m.schema = nil
+	matchAttrsPool.Put(m)
+}
+
 // Service is the information index (the GIIS).
 type Service struct {
 	clock        simclock.Clock
@@ -72,6 +374,8 @@ type Service struct {
 
 	mu      sync.Mutex
 	records map[string]SiteRecord
+	epoch   uint64
+	snap    *Snapshot // built lazily, valid while snap.epoch == epoch
 }
 
 // New creates an information service on clock whose queries cost
@@ -89,7 +393,7 @@ func (s *Service) QueryLatency() time.Duration { return s.queryLatency }
 
 // Publish stores or replaces a site record, stamping it with the
 // current time. Sites call this periodically (push model, as GRIS to
-// GIIS registration).
+// GIIS registration). Each publish starts a new snapshot epoch.
 func (s *Service) Publish(rec SiteRecord) error {
 	if rec.Name == "" {
 		return fmt.Errorf("infosys: record without site name")
@@ -98,6 +402,7 @@ func (s *Service) Publish(rec SiteRecord) error {
 	rec.UpdatedAt = s.clock.Now()
 	s.mu.Lock()
 	s.records[rec.Name] = rec
+	s.epoch++
 	s.mu.Unlock()
 	return nil
 }
@@ -105,7 +410,10 @@ func (s *Service) Publish(rec SiteRecord) error {
 // Remove deletes a site record (site decommissioned or expired).
 func (s *Service) Remove(name string) {
 	s.mu.Lock()
-	delete(s.records, name)
+	if _, ok := s.records[name]; ok {
+		delete(s.records, name)
+		s.epoch++
+	}
 	s.mu.Unlock()
 }
 
@@ -117,28 +425,54 @@ func (s *Service) Len() int {
 	return len(s.records)
 }
 
-// Query returns a snapshot of all published records, sorted by site
-// name. It costs the service's query latency; when the clock is a
-// simulation clock the caller must be a simulation process.
+// Epoch reports the current registry generation (bumped by every
+// Publish and effective Remove), without query cost.
+func (s *Service) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Snapshot returns the current immutable snapshot, charging the
+// service's query latency; when the clock is a simulation clock the
+// caller must be a simulation process. This is the broker's discovery
+// fast path: between two publishes every caller shares one snapshot
+// allocation.
+func (s *Service) Snapshot() *Snapshot {
+	s.clock.Sleep(s.queryLatency)
+	return s.SnapshotImmediate()
+}
+
+// SnapshotImmediate returns the current snapshot without charging
+// query latency; tests and instrumentation use it.
+func (s *Service) SnapshotImmediate() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snap == nil || s.snap.epoch != s.epoch {
+		recs := make([]SiteRecord, 0, len(s.records))
+		for _, r := range s.records {
+			// Records were cloned on Publish and are never handed out
+			// mutably, so the snapshot may share them; its accessors
+			// clone on the way out.
+			recs = append(recs, r)
+		}
+		s.snap = newSnapshot(s.epoch, recs, s.snap)
+	}
+	return s.snap
+}
+
+// Query returns a deep-copied snapshot of all published records,
+// sorted by site name. It costs the service's query latency; when the
+// clock is a simulation clock the caller must be a simulation process.
+// The selection hot path uses Snapshot instead.
 func (s *Service) Query() []SiteRecord {
 	s.clock.Sleep(s.queryLatency)
-	return s.snapshot()
+	return s.SnapshotImmediate().Records()
 }
 
-// QueryImmediate returns the snapshot without charging query latency;
-// tests and instrumentation use it.
-func (s *Service) QueryImmediate() []SiteRecord { return s.snapshot() }
-
-func (s *Service) snapshot() []SiteRecord {
-	s.mu.Lock()
-	out := make([]SiteRecord, 0, len(s.records))
-	for _, r := range s.records {
-		out = append(out, r.Clone())
-	}
-	s.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
-}
+// QueryImmediate returns the deep-copied snapshot without charging
+// query latency; tests and instrumentation use it.
+func (s *Service) QueryImmediate() []SiteRecord { return s.SnapshotImmediate().Records() }
 
 // StaleAfter reports the records older than maxAge at the current
 // clock time; monitoring uses it to spot sites that stopped pushing.

@@ -251,7 +251,11 @@ func (b Binary) Eval(attrs map[string]any) (any, error) {
 	case "+", "-", "*", "/":
 		return arith(b.Op, lv, rv)
 	}
-	return compare(b.Op, lv, rv)
+	cb, err := compareBool(b.Op, lv, rv)
+	if err != nil {
+		return nil, err
+	}
+	return cb, nil
 }
 
 // arith evaluates numeric operators; "+" also concatenates strings
@@ -288,12 +292,15 @@ func arith(op string, lv, rv any) (any, error) {
 	return nil, evalErrf("unknown operator %s", op)
 }
 
-func compare(op string, lv, rv any) (any, error) {
+// compareBool evaluates a comparison operator. Returning an unboxed
+// bool lets the compiled path (compile.go) chain comparisons into
+// logical connectives without interface boxing.
+func compareBool(op string, lv, rv any) (bool, error) {
 	switch l := lv.(type) {
 	case float64:
 		r, ok := rv.(float64)
 		if !ok {
-			return nil, evalErrf("cannot compare number with %T", rv)
+			return false, evalErrf("cannot compare number with %T", rv)
 		}
 		switch op {
 		case "==":
@@ -312,7 +319,7 @@ func compare(op string, lv, rv any) (any, error) {
 	case string:
 		r, ok := rv.(string)
 		if !ok {
-			return nil, evalErrf("cannot compare string with %T", rv)
+			return false, evalErrf("cannot compare string with %T", rv)
 		}
 		switch op {
 		case "==":
@@ -331,7 +338,7 @@ func compare(op string, lv, rv any) (any, error) {
 	case bool:
 		r, ok := rv.(bool)
 		if !ok {
-			return nil, evalErrf("cannot compare boolean with %T", rv)
+			return false, evalErrf("cannot compare boolean with %T", rv)
 		}
 		switch op {
 		case "==":
@@ -339,9 +346,9 @@ func compare(op string, lv, rv any) (any, error) {
 		case "!=":
 			return l != r, nil
 		}
-		return nil, evalErrf("operator %s not defined on booleans", op)
+		return false, evalErrf("operator %s not defined on booleans", op)
 	}
-	return nil, evalErrf("unsupported operand type %T", lv)
+	return false, evalErrf("unsupported operand type %T", lv)
 }
 
 // EvalBool evaluates a Requirements-style expression to a boolean.

@@ -107,6 +107,11 @@ type Job struct {
 	// Owner is the submitting user's identity (filled by the broker
 	// from the GSI credential, not from the JDL).
 	Owner string
+
+	// compiled caches the Requirements/Rank programs lowered against
+	// the current information-system schema (see compile.go). Jobs are
+	// handled by pointer throughout; the cache must not be copied.
+	compiled programCache
 }
 
 // ErrValidation tags job validation failures.
