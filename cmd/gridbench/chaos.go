@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"crossbroker/internal/experiments"
+)
+
+// chaosReport is the BENCH_chaos.json document: broker failure
+// recovery under the deterministic fault layer, per injected failure
+// rate.
+type chaosReport struct {
+	GeneratedBy string                   `json:"generated_by"`
+	GoVersion   string                   `json:"go_version"`
+	Seed        int64                    `json:"seed"`
+	Quick       bool                     `json:"quick"`
+	Points      []experiments.ChaosPoint `json:"points"`
+}
+
+// chaos runs the failure-rate sweep and writes BENCH_chaos.json.
+// The sweep is fully deterministic for a fixed seed: two runs produce
+// byte-identical point lists.
+func chaos(out string, quick bool, seed int64) error {
+	pts, err := experiments.ChaosSweep(experiments.ChaosConfig{Seed: seed, Quick: quick})
+	if err != nil {
+		return err
+	}
+	fmt.Println("Chaos — broker recovery vs injected failure rate")
+	fmt.Println(experiments.RenderChaos(pts))
+	for _, p := range pts {
+		if p.Done+p.Aborted != p.Submitted {
+			return fmt.Errorf("chaos: rate %.2g left non-terminal jobs (%d done, %d aborted, %d submitted)",
+				p.CrashRate, p.Done, p.Aborted, p.Submitted)
+		}
+		if p.LeakedLeases != 0 {
+			return fmt.Errorf("chaos: rate %.2g leaked %d leases", p.CrashRate, p.LeakedLeases)
+		}
+	}
+	rep := chaosReport{
+		GeneratedBy: "gridbench -exp chaos",
+		GoVersion:   runtime.Version(),
+		Seed:        seed,
+		Quick:       quick,
+		Points:      pts,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

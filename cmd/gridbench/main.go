@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, chaos, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
 	iters := flag.Int("iters", 1000, "loop iterations (fig 8)")
@@ -37,6 +37,8 @@ func main() {
 	series := flag.Bool("series", false, "dump raw per-iteration series as CSV")
 	seed := flag.Int64("seed", 2006, "randomization seed")
 	benchOut := flag.String("benchout", "BENCH_matchmaking.json", "output path for -exp bench")
+	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -exp chaos")
+	quick := flag.Bool("quick", false, "shrink -exp chaos for smoke runs")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -59,6 +61,7 @@ func main() {
 	run("fig8", func() error { return fig8(*iters, *series) })
 	run("ablations", func() error { return ablations(*scale, *seed) })
 	run("bench", func() error { return bench(*benchOut) })
+	run("chaos", func() error { return chaos(*chaosOut, *quick, *seed) })
 }
 
 func table1(runs int, seed int64) error {

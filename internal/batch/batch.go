@@ -152,6 +152,11 @@ type Queue struct {
 	jobs    map[string]*Handle
 	seq     int
 	passing bool
+
+	// stalledUntil suspends scheduling passes (an LRM hang injected by
+	// the fault layer): submissions are still accepted, but no pending
+	// job starts before the stall ends.
+	stalledUntil time.Time
 }
 
 // QueueOption configures a Queue.
@@ -230,23 +235,68 @@ func (q *Queue) Submit(r Request) (*Handle, error) {
 	return h, nil
 }
 
-// schedulePass arranges a scheduling pass one cycle from now, if one
-// is not already scheduled.
+// schedulePass arranges a scheduling pass one cycle from now (or at
+// the end of an injected stall, whichever is later), if one is not
+// already scheduled.
 func (q *Queue) schedulePass() {
 	if q.passing {
 		return
 	}
 	q.passing = true
-	q.sim.AfterFunc(q.cycle, func() {
+	d := q.cycle
+	if until := q.stalledUntil.Sub(q.sim.Now()); until > d {
+		d = until
+	}
+	q.sim.AfterFunc(d, func() {
 		q.passing = false
 		q.pass()
 	})
+}
+
+// Stall suspends scheduling passes for d (a hung LRM daemon): jobs
+// keep queueing but none starts until the stall elapses. Overlapping
+// stalls extend to the latest end.
+func (q *Queue) Stall(d time.Duration) {
+	until := q.sim.Now().Add(d)
+	if until.After(q.stalledUntil) {
+		q.stalledUntil = until
+	}
+	if len(q.pending) > 0 {
+		q.schedulePass()
+	}
+}
+
+// Stalled reports whether the LRM is currently inside an injected
+// stall window.
+func (q *Queue) Stalled() bool { return q.sim.Now().Before(q.stalledUntil) }
+
+// CrashAll models the site's worker pool dying with its gatekeeper:
+// every running job is killed (bodies observe their Killed trigger)
+// and every pending job is dropped as Killed, including uncommitted
+// two-phase-commit submissions.
+func (q *Queue) CrashAll() {
+	for _, h := range q.pending {
+		h.st = Killed
+		h.Done.Fire()
+	}
+	q.pending = nil
+	for _, h := range q.jobs {
+		if h.st == Running {
+			h.exec.Killed.Fire()
+		}
+	}
 }
 
 // pass starts every pending job that fits, in priority order (FCFS
 // within a level). No backfill: a large job at the head blocks later
 // jobs, as in a plain FCFS PBS configuration.
 func (q *Queue) pass() {
+	if q.Stalled() {
+		if len(q.pending) > 0 {
+			q.schedulePass()
+		}
+		return
+	}
 	sort.SliceStable(q.pending, func(i, j int) bool {
 		if q.pending[i].req.Priority != q.pending[j].req.Priority {
 			return q.pending[i].req.Priority > q.pending[j].req.Priority

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"crossbroker/internal/fairshare"
@@ -52,6 +53,18 @@ var (
 	// ErrNoMatch means no registered site satisfies the job's
 	// Requirements.
 	ErrNoMatch = errors.New("broker: no site matches job requirements")
+	// ErrMaxResubmits means the job exhausted Config.MaxResubmits
+	// recovery attempts; the terminal error wraps it and reports the
+	// last attempt's failure.
+	ErrMaxResubmits = errors.New("broker: resubmission limit reached")
+	// ErrAborted means the job was killed through Broker.Abort (the
+	// console's give-up path, or an operator).
+	ErrAborted = errors.New("broker: job aborted")
+	// ErrSiteLost means the site executing the job died mid-run.
+	ErrSiteLost = errors.New("broker: executing site lost")
+	// ErrAgentLost means the glide-in agent hosting the job died or
+	// was evicted.
+	ErrAgentLost = errors.New("broker: glide-in agent lost")
 )
 
 // FairShare is the fair-share policy surface the broker needs.
@@ -112,6 +125,38 @@ type Config struct {
 	// selection time approaches the maximum site round trip; negative
 	// probes every site at once.
 	ProbeWidth int
+	// MaxResubmits bounds failure-driven resubmissions per job
+	// (queue-timeout kills, site deaths mid-run, agent losses, failed
+	// gatekeeper submissions). 0 means unlimited — the paper's
+	// behavior. When the budget is exhausted the job fails terminally
+	// with an error wrapping ErrMaxResubmits and the last attempt's
+	// failure, so the outcome says why the grid gave up.
+	MaxResubmits int
+	// RetryBackoff multiplies the broker-queue dispatch delay after
+	// every re-queue of the same job (capped exponential backoff).
+	// The default 1 keeps the fixed RetryInterval pacing; chaos-prone
+	// deployments set 2.
+	RetryBackoff float64
+	// RetryMaxInterval caps the backed-off retry delay (default
+	// 16×RetryInterval).
+	RetryMaxInterval time.Duration
+	// RetryJitter adds a seeded random fraction in [0, RetryJitter)
+	// of the delay to each retry, desynchronizing resubmission storms
+	// when a site recovers. Default 0 (deterministic pacing).
+	RetryJitter float64
+	// QuarantineThreshold is the consecutive-failure count after
+	// which a site is excluded from matchmaking (circuit breaker;
+	// default 3). After QuarantineCooldown the site is probed again:
+	// one success resets it, one more failure re-trips immediately.
+	// Negative disables quarantine.
+	QuarantineThreshold int
+	// QuarantineCooldown is how long a quarantined site stays
+	// excluded before the broker probes it back in (default 5 min).
+	QuarantineCooldown time.Duration
+	// AgentHeartbeat is the glide-in failure-detection latency: the
+	// broker notices a dead agent one heartbeat after the loss and
+	// kill-and-resubmits the hosted interactive job (default 10 s).
+	AgentHeartbeat time.Duration
 }
 
 func (c *Config) setDefaults() {
@@ -129,6 +174,21 @@ func (c *Config) setDefaults() {
 	}
 	if c.AgentDegree <= 0 {
 		c.AgentDegree = 1
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 1
+	}
+	if c.RetryMaxInterval <= 0 {
+		c.RetryMaxInterval = 16 * c.RetryInterval
+	}
+	if c.QuarantineThreshold == 0 {
+		c.QuarantineThreshold = 3
+	}
+	if c.QuarantineCooldown <= 0 {
+		c.QuarantineCooldown = 5 * time.Minute
+	}
+	if c.AgentHeartbeat <= 0 {
+		c.AgentHeartbeat = 10 * time.Second
 	}
 }
 
@@ -189,6 +249,11 @@ type RunContext struct {
 	// Input models reading n bytes forwarded from the user machine
 	// (one round trip of latency).
 	Input func(n int)
+	// Killed fires if the allocation is torn down under the body (the
+	// LRM killed the job, a hosting agent died, or the submission was
+	// aborted). The default body stops burning CPU when it fires;
+	// custom bodies should honour it the same way.
+	Killed *simclock.Trigger
 }
 
 // Body is a job's execution body, run as a simulation process once
@@ -226,6 +291,21 @@ type Handle struct {
 	shared  bool
 	resub   int
 	request Request
+
+	// abort fires when Broker.Abort kills the submission; every wait
+	// point of the scheduling flow races against it.
+	abort    *simclock.Trigger
+	abortErr error
+	// lastErr remembers the most recent attempt's failure so a
+	// terminal MaxResubmits abort can surface why the grid gave up.
+	lastErr error
+	// backoffs counts broker-queue re-queues, driving the capped
+	// exponential dispatch backoff.
+	backoffs int
+	// unavailable counts sites the last selection pass skipped
+	// because they were quarantined or failed their direct probe —
+	// distinguishing "nothing matches" from "matches are all down".
+	unavailable int
 
 	submittedAt time.Time
 	finishedAt  time.Time
@@ -274,6 +354,7 @@ type Broker struct {
 	agents     map[string]*glidein.Agent
 	agentSites map[*glidein.Agent]*site.Site
 	leases     map[string]*leaseQueue // site -> lease expiry batches
+	health     map[string]*siteHealth // site -> circuit-breaker state
 
 	// lastSnap keeps the previous discovery snapshot when running
 	// without an information service, so schema pointers (and the
@@ -299,13 +380,23 @@ func New(cfg Config) *Broker {
 		agents:     make(map[string]*glidein.Agent),
 		agentSites: make(map[*glidein.Agent]*site.Site),
 		leases:     make(map[string]*leaseQueue),
+		health:     make(map[string]*siteHealth),
 	}
 }
 
 // RegisterSite makes a site available for scheduling and starts its
-// information-system publishing.
+// information-system publishing. A crash notification from the site
+// immediately releases every lease held against it (so matchmaking
+// capacity recovers without waiting for natural expiry) and
+// quarantines it.
 func (b *Broker) RegisterSite(st *site.Site) {
 	b.sites[st.Name()] = st
+	name := st.Name()
+	st.OnDeath(func() {
+		b.releaseSiteLeases(name)
+		b.quarantineNow(name)
+		b.kickDispatch()
+	})
 	if b.cfg.Info != nil {
 		st.StartPublishing(b.cfg.Info)
 	}
@@ -316,6 +407,28 @@ func (b *Broker) RegisterSite(st *site.Site) {
 		}
 		b.cfg.Fair.SetTotal(total)
 	}
+}
+
+// UnregisterSite removes a site from scheduling (decommissioned, or
+// declared dead by monitoring): its information-system record is
+// withdrawn and every lease held against it released immediately.
+func (b *Broker) UnregisterSite(name string) {
+	if _, ok := b.sites[name]; !ok {
+		return
+	}
+	delete(b.sites, name)
+	if b.cfg.Info != nil {
+		b.cfg.Info.Remove(name)
+	}
+	b.releaseSiteLeases(name)
+	if b.cfg.Fair != nil {
+		total := 0
+		for _, s := range b.sites {
+			total += len(s.Queue().Nodes())
+		}
+		b.cfg.Fair.SetTotal(total)
+	}
+	b.kickDispatch()
 }
 
 // FreeAgents reports how many registered agents have a free
@@ -364,10 +477,28 @@ func (b *Broker) Submit(req Request) (*Handle, error) {
 		Done:        b.sim.NewTrigger(),
 		state:       Pending,
 		request:     req,
+		abort:       b.sim.NewTrigger(),
 		submittedAt: b.sim.Now(),
 	}
 	b.sim.Go(func() { b.route(h) })
 	return h, nil
+}
+
+// Abort kills a submission from outside the scheduling flow — the
+// console's give-up path when a reliable link exhausts its retry
+// budget, or an operator. The job transitions to Failed with the
+// given reason (ErrAborted if nil) as soon as the owning scheduling
+// process observes the abort; a job waiting in the broker queue is
+// dropped at its next dispatch.
+func (b *Broker) Abort(h *Handle, reason error) {
+	if h.state == Done || h.state == Failed || h.abort.Fired() {
+		return
+	}
+	if reason == nil {
+		reason = ErrAborted
+	}
+	h.abortErr = reason
+	h.abort.Fire()
 }
 
 // route picks the scheduling path per job type (Figure 5).
@@ -384,6 +515,9 @@ func (b *Broker) route(h *Handle) {
 }
 
 func (b *Broker) fail(h *Handle, err error) {
+	if h.state == Done || h.state == Failed {
+		return
+	}
 	h.state = Failed
 	h.err = err
 	h.finishedAt = b.sim.Now()
@@ -391,8 +525,133 @@ func (b *Broker) fail(h *Handle, err error) {
 }
 
 func (b *Broker) finish(h *Handle) {
+	if h.state == Done || h.state == Failed {
+		return
+	}
 	h.state = Done
 	h.finishedAt = b.sim.Now()
 	h.Done.Fire()
 	b.kickDispatch()
+}
+
+// failResubmits terminally aborts a job whose recovery budget is
+// spent, surfacing the last attempt's failure in the outcome.
+func (b *Broker) failResubmits(h *Handle) {
+	err := fmt.Errorf("%w (%d resubmissions)", ErrMaxResubmits, h.resub)
+	if h.lastErr != nil {
+		err = fmt.Errorf("%w (%d resubmissions): %v", ErrMaxResubmits, h.resub, h.lastErr)
+	}
+	b.fail(h, err)
+}
+
+// ---------------------------------------------------------------------
+// Dead-site quarantine: a circuit breaker per site. Consecutive
+// failures (failed submissions, unreachable probes, crash
+// notifications) trip it; while tripped the site is excluded from
+// matchmaking; after the cool-down the next pass probes it again —
+// one success resets the breaker, one more failure re-trips it.
+// ---------------------------------------------------------------------
+
+type siteHealth struct {
+	fails            int
+	quarantinedUntil time.Time
+}
+
+// noteSiteFailure records a failed interaction with a site, tripping
+// the circuit breaker at QuarantineThreshold consecutive failures.
+func (b *Broker) noteSiteFailure(name string) {
+	if b.cfg.QuarantineThreshold < 0 {
+		return
+	}
+	hl := b.health[name]
+	if hl == nil {
+		hl = &siteHealth{}
+		b.health[name] = hl
+	}
+	hl.fails++
+	if hl.fails >= b.cfg.QuarantineThreshold {
+		hl.quarantinedUntil = b.sim.Now().Add(b.cfg.QuarantineCooldown)
+	}
+}
+
+// noteSiteSuccess resets a site's circuit breaker.
+func (b *Broker) noteSiteSuccess(name string) {
+	if hl := b.health[name]; hl != nil {
+		hl.fails = 0
+		hl.quarantinedUntil = time.Time{}
+	}
+}
+
+// quarantineNow trips a site's breaker immediately (crash
+// notification — no need to accumulate failures).
+func (b *Broker) quarantineNow(name string) {
+	if b.cfg.QuarantineThreshold < 0 {
+		return
+	}
+	hl := b.health[name]
+	if hl == nil {
+		hl = &siteHealth{}
+		b.health[name] = hl
+	}
+	if hl.fails < b.cfg.QuarantineThreshold {
+		hl.fails = b.cfg.QuarantineThreshold
+	}
+	hl.quarantinedUntil = b.sim.Now().Add(b.cfg.QuarantineCooldown)
+}
+
+// quarantined reports whether a site is currently excluded.
+func (b *Broker) quarantined(name string) bool {
+	hl := b.health[name]
+	return hl != nil && b.sim.Now().Before(hl.quarantinedUntil)
+}
+
+// QuarantinedSites returns the currently quarantined site names,
+// sorted (instrumentation).
+func (b *Broker) QuarantinedSites() []string {
+	var out []string
+	for name, hl := range b.health {
+		if b.sim.Now().Before(hl.quarantinedUntil) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// releaseSiteLeases drops every lease held against a site (the site
+// died or was unregistered), so its reserved capacity stops shadowing
+// the rest of the grid.
+func (b *Broker) releaseSiteLeases(name string) {
+	delete(b.leases, name)
+}
+
+// LeasedCPUs reports the total live (unexpired) lease count across
+// all sites — instrumentation for the no-leaked-lease invariant.
+func (b *Broker) LeasedCPUs() int {
+	now := b.sim.Now()
+	n := 0
+	for _, q := range b.leases {
+		n += q.prune(now)
+	}
+	return n
+}
+
+// KillAgentAt kills one glide-in agent on the named site (fault
+// injection: the glide-in process dies), reporting whether an agent
+// was there to kill. Agents are picked in sorted-ID order so a seeded
+// fault schedule stays deterministic.
+func (b *Broker) KillAgentAt(siteName string) bool {
+	ids := make([]string, 0, len(b.agents))
+	for id := range b.agents {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		a := b.agents[id]
+		if st := b.agentSites[a]; st != nil && st.Name() == siteName {
+			a.Die()
+			return true
+		}
+	}
+	return false
 }

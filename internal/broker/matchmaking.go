@@ -51,6 +51,7 @@ type probeTask struct {
 	st           *site.Site
 	idx          int
 	free, queued int
+	ok           bool // direct probe answered (site reachable)
 }
 
 // selection filters the snapshot against the job's compiled
@@ -70,10 +71,15 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 
 	// Phase 1: requirements filtering against published attributes.
 	// Pure computation — no simulated time passes.
+	h.unavailable = 0
 	kept := make([]probeTask, 0, snap.Len())
 	for i := 0; i < snap.Len(); i++ {
 		name := snap.Name(i)
 		if excluded[name] {
+			continue
+		}
+		if b.quarantined(name) {
+			h.unavailable++
 			continue
 		}
 		st, ok := b.sites[name]
@@ -99,6 +105,12 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 	// Phase 3: ranking and ordering. Pure computation again.
 	cands := make([]candidate, 0, len(kept))
 	for _, p := range kept {
+		if !p.ok {
+			// The direct probe went unanswered: the record is stale,
+			// the site is down or cut off. Exclude it this pass.
+			h.unavailable++
+			continue
+		}
 		c := candidate{site: p.st, free: p.free, queued: p.queued, noise: b.rng.Float64()}
 		if b.cfg.Deterministic {
 			c.noise = float64(len(cands)) // stable record order
@@ -149,7 +161,14 @@ func (b *Broker) probeSites(tasks []probeTask) {
 		return
 	}
 	probe := func(i int) {
-		free, queued := tasks[i].st.QueryState()
+		free, queued, ok := tasks[i].st.QueryStateOK()
+		tasks[i].ok = ok
+		if !ok {
+			// Cooperative sim processes run one at a time, so the
+			// health map needs no locking even probeWidth-wide.
+			b.noteSiteFailure(tasks[i].st.Name())
+			return
+		}
 		free -= b.activeLeases(tasks[i].st.Name())
 		if free < 0 {
 			free = 0
@@ -361,14 +380,47 @@ func (b *Broker) dispatchPending() {
 	}
 	for _, h := range queue {
 		h := h
+		if h.state == Done || h.state == Failed {
+			continue
+		}
+		if h.abort.Fired() {
+			b.fail(h, h.abortErr)
+			continue
+		}
 		b.sim.Go(func() { b.runBatch(h) })
 	}
 }
 
-// scheduleRetry re-queues a batch job and arranges a future dispatch.
+// scheduleRetry re-queues a batch job with capped exponential backoff
+// (plus seeded jitter), or aborts it terminally once the resubmission
+// budget is spent. With the default RetryBackoff of 1 the pacing is
+// the fixed RetryInterval of the original design.
 func (b *Broker) scheduleRetry(h *Handle) {
+	if b.cfg.MaxResubmits > 0 && h.resub > b.cfg.MaxResubmits {
+		b.failResubmits(h)
+		return
+	}
+	d := b.retryDelay(h.backoffs)
+	h.backoffs++
 	b.pendingBatch = append(b.pendingBatch, h)
-	b.sim.AfterFunc(b.cfg.RetryInterval, b.kickDispatch)
+	b.sim.AfterFunc(d, b.kickDispatch)
+}
+
+// retryDelay computes the dispatch delay for a job's n-th re-queue:
+// RetryInterval × RetryBackoff^n, capped at RetryMaxInterval, plus a
+// seeded jitter fraction.
+func (b *Broker) retryDelay(n int) time.Duration {
+	d := b.cfg.RetryInterval
+	for i := 0; i < n && d < b.cfg.RetryMaxInterval; i++ {
+		d = time.Duration(float64(d) * b.cfg.RetryBackoff)
+	}
+	if d > b.cfg.RetryMaxInterval {
+		d = b.cfg.RetryMaxInterval
+	}
+	if b.cfg.RetryJitter > 0 {
+		d += time.Duration(b.cfg.RetryJitter * b.rng.Float64() * float64(d))
+	}
+	return d
 }
 
 // waitTrigger waits for t up to d, reporting whether it fired. Must

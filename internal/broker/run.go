@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -12,6 +13,15 @@ import (
 	"crossbroker/internal/site"
 	"crossbroker/internal/vmslot"
 )
+
+// retryableSubmitErr reports whether a gatekeeper submission failure
+// is transient (the site crashed, timed out or aborted the commit) —
+// worth resubmitting elsewhere — rather than a definitive rejection.
+func retryableSubmitErr(err error) bool {
+	return errors.Is(err, site.ErrSiteDown) ||
+		errors.Is(err, site.ErrGatekeeperTimeout) ||
+		errors.Is(err, site.ErrCommitAborted)
+}
 
 // fairshareClass maps a job to its accounting class.
 func fairshareClass(job *jdl.Job) fairshare.Class {
@@ -32,8 +42,9 @@ const defaultFirstOutputBytes = 64
 // reached over the given network profile.
 func (b *Broker) makeRunContext(h *Handle, st *site.Site, slots []*vmslot.Slot) *RunContext {
 	return &RunContext{
-		Sim:   b.sim,
-		Slots: slots,
+		Sim:    b.sim,
+		Slots:  slots,
+		Killed: b.sim.NewTrigger(),
 		Output: func(n int) {
 			b.sim.Sleep(st.Network().TransferTime(n))
 			h.FirstOutput.Fire()
@@ -66,7 +77,14 @@ func (b *Broker) runBody(h *Handle, rc *RunContext) {
 			}
 		})
 	}
-	done.Wait()
+	if rc.Killed == nil {
+		done.Wait()
+		return
+	}
+	w := b.sim.NewTrigger()
+	done.OnFire(w.Fire)
+	rc.Killed.OnFire(w.Fire)
+	w.Wait()
 }
 
 // ---------------------------------------------------------------------
@@ -76,6 +94,13 @@ func (b *Broker) runBody(h *Handle, rc *RunContext) {
 // ---------------------------------------------------------------------
 
 func (b *Broker) runBatch(h *Handle) {
+	if h.state == Done || h.state == Failed {
+		return
+	}
+	if h.abort.Fired() {
+		b.fail(h, h.abortErr)
+		return
+	}
 	job := h.request.Job
 	snap := b.discover(h)
 	if snap.Len() == 0 {
@@ -84,6 +109,15 @@ func (b *Broker) runBatch(h *Handle) {
 	}
 	cands := b.selection(h, snap, nil)
 	if len(cands) == 0 {
+		if h.unavailable > 0 {
+			// Matching sites exist but are quarantined or unreachable
+			// — a transient grid failure, not a requirements mismatch.
+			// Hold the job and retry after the backoff.
+			h.lastErr = ErrNoResources
+			h.state = Pending
+			b.scheduleRetry(h)
+			return
+		}
 		b.fail(h, ErrNoMatch)
 		return
 	}
@@ -110,6 +144,7 @@ func (b *Broker) runBatch(h *Handle) {
 			b.fail(h, ErrRejected)
 			return
 		}
+		h.state = Pending
 		b.scheduleRetry(h)
 		return
 	}
@@ -133,9 +168,22 @@ func (b *Broker) runBatch(h *Handle) {
 		glidein.Options{Degree: b.cfg.AgentDegree})
 	if err != nil {
 		b.unlease(st.Name(), 1)
+		if retryableSubmitErr(err) {
+			// The gatekeeper died under the submission (possibly
+			// between phase-1 accept and phase-2 commit — the abort
+			// released the slot). Quarantine bookkeeping, then retry
+			// elsewhere after the backoff.
+			b.noteSiteFailure(st.Name())
+			h.lastErr = err
+			h.resub++
+			h.state = Pending
+			b.scheduleRetry(h)
+			return
+		}
 		b.fail(h, fmt.Errorf("broker: agent launch on %s: %w", st.Name(), err))
 		return
 	}
+	b.noteSiteSuccess(st.Name())
 	b.wireAgent(agent, st)
 
 	bh.Started.OnFire(func() {
@@ -149,19 +197,34 @@ func (b *Broker) runBatch(h *Handle) {
 		})
 	})
 
-	// Wait for the payload to finish; if the agent is evicted first,
-	// resubmit ("new agents will be submitted when possible").
+	// Wait for the payload to finish; if the agent is evicted (or the
+	// site crashes the queued agent job) first, resubmit ("new agents
+	// will be submitted when possible"). bh.Done covers an agent job
+	// killed while still queued — its body never ran, so Released
+	// alone would wait forever.
 	w := b.sim.NewTrigger()
 	agent.BatchDone().OnFire(w.Fire)
 	agent.Released().OnFire(w.Fire)
+	bh.Done.OnFire(w.Fire)
+	h.abort.OnFire(w.Fire)
 	w.Wait()
 	if agent.BatchDone().Fired() {
 		b.release(h)
 		b.finish(h)
 		return
 	}
-	// Evicted.
+	if !bh.Started.Fired() {
+		b.unlease(st.Name(), 1) // reservation for a job that never ran
+	}
+	if h.abort.Fired() {
+		st.Queue().Kill(bh.ID())
+		b.release(h)
+		b.fail(h, h.abortErr)
+		return
+	}
+	// Evicted or lost.
 	b.release(h)
+	h.lastErr = fmt.Errorf("%w: payload on %s unfinished", ErrAgentLost, st.Name())
 	h.resub++
 	h.state = Pending
 	b.scheduleRetry(h)
@@ -210,6 +273,14 @@ func (b *Broker) runInteractiveExclusive(h *Handle) {
 	excluded := make(map[string]bool)
 	anyFree := false
 	for attempt := 0; attempt < len(cands); attempt++ {
+		if h.abort.Fired() {
+			b.fail(h, h.abortErr)
+			return
+		}
+		if b.cfg.MaxResubmits > 0 && h.resub > b.cfg.MaxResubmits {
+			b.failResubmits(h)
+			return
+		}
 		var chosen *candidate
 		for i := range cands {
 			if !excluded[cands[i].site.Name()] && cands[i].free >= job.NodeNumber {
@@ -226,6 +297,10 @@ func (b *Broker) runInteractiveExclusive(h *Handle) {
 		}
 		excluded[chosen.site.Name()] = true
 	}
+	if h.abort.Fired() {
+		b.fail(h, h.abortErr)
+		return
+	}
 	if !anyFree && !b.admissionOK(h.request.User) {
 		b.fail(h, ErrRejected)
 		return
@@ -234,8 +309,9 @@ func (b *Broker) runInteractiveExclusive(h *Handle) {
 }
 
 // runExclusiveAttempt submits the job to one site and enforces the
-// on-line scheduling rule. It reports whether the job was placed (and
-// then runs it to completion).
+// on-line scheduling rule. It reports whether the job reached a
+// terminal state there (ran to completion, or was aborted); false
+// sends the caller to the next candidate.
 func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 	job := h.request.Job
 	b.lease(st.Name(), job.NodeNumber)
@@ -243,17 +319,22 @@ func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 	h.state = Submitted
 
 	bodyDone := b.sim.NewTrigger()
+	killed := b.sim.NewTrigger()
 	req := batch.Request{
 		ID:       h.ID + fmt.Sprintf(".%d", h.resub),
 		Owner:    h.request.User,
 		Nodes:    job.NodeNumber,
 		Priority: 10, // interactive jobs ahead of local batch work
-		Run:      b.exclusiveBody(h, st, bodyDone),
+		Run:      b.exclusiveBody(h, st, bodyDone, killed),
 	}
 	bh, err := st.Submit(req, site.SubmitOptions{})
 	if err != nil {
+		b.noteSiteFailure(st.Name())
+		h.lastErr = err
+		h.resub++
 		return false
 	}
+	b.noteSiteSuccess(st.Name())
 	// "The scheduler attempts to run each interactive job immediately.
 	// If the job enters a queue rather than immediately starting
 	// execution, it will be resubmitted to any other resource."
@@ -265,48 +346,114 @@ func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 	h.state = Running
 	h.site = st.Name()
 	b.account(h, job.NodeNumber)
-	bodyDone.Wait()
-	b.release(h)
-	b.finish(h)
-	return true
+
+	w := b.sim.NewTrigger()
+	bodyDone.OnFire(w.Fire)
+	killed.OnFire(w.Fire)
+	h.abort.OnFire(w.Fire)
+	w.Wait()
+	// bodyDone also fires when the body stopped because it was killed,
+	// so the failure outcomes must be checked first.
+	switch {
+	case h.abort.Fired():
+		st.Queue().Kill(bh.ID())
+		b.release(h)
+		b.fail(h, h.abortErr)
+		return true
+	case killed.Fired():
+		// The LRM killed the job under us — the site crashed. The
+		// death notification already released the leases and
+		// quarantined the site; move on to another candidate.
+		b.release(h)
+		h.lastErr = fmt.Errorf("%w: %s died running %s", ErrSiteLost, st.Name(), h.ID)
+		h.resub++
+		return false
+	default:
+		b.release(h)
+		b.finish(h)
+		return true
+	}
 }
 
-// runExclusiveOn is the no-retry variant used for parallel batch jobs.
+// runExclusiveOn is the gatekeeper-path variant used for parallel
+// batch jobs; a site death mid-flight re-queues the job through the
+// broker's retry path.
 func (b *Broker) runExclusiveOn(h *Handle, st *site.Site) {
 	job := h.request.Job
 	bodyDone := b.sim.NewTrigger()
+	killed := b.sim.NewTrigger()
 	req := batch.Request{
 		ID:    h.ID,
 		Owner: h.request.User,
 		Nodes: job.NodeNumber,
-		Run:   b.exclusiveBody(h, st, bodyDone),
+		Run:   b.exclusiveBody(h, st, bodyDone, killed),
 	}
 	bh, err := st.Submit(req, site.SubmitOptions{})
 	b.unlease(st.Name(), job.NodeNumber)
 	if err != nil {
+		if retryableSubmitErr(err) {
+			b.noteSiteFailure(st.Name())
+			h.lastErr = err
+			h.resub++
+			h.state = Pending
+			b.scheduleRetry(h)
+			return
+		}
 		b.fail(h, err)
 		return
 	}
+	b.noteSiteSuccess(st.Name())
 	bh.Started.OnFire(func() {
 		h.state = Running
 		b.account(h, job.NodeNumber)
 	})
 	h.site = st.Name()
-	bodyDone.Wait()
-	b.release(h)
-	b.finish(h)
+
+	// bh.Done without bodyDone means the LRM dropped the job (crash
+	// while queued or running) — its body may never have run.
+	w := b.sim.NewTrigger()
+	bodyDone.OnFire(w.Fire)
+	killed.OnFire(w.Fire)
+	bh.Done.OnFire(w.Fire)
+	h.abort.OnFire(w.Fire)
+	w.Wait()
+	// bodyDone also fires when the body stopped because it was killed,
+	// so the failure outcomes must be checked first.
+	switch {
+	case h.abort.Fired():
+		st.Queue().Kill(bh.ID())
+		b.release(h)
+		b.fail(h, h.abortErr)
+	case killed.Fired(), !bodyDone.Fired():
+		b.release(h)
+		h.lastErr = fmt.Errorf("%w: %s died running %s", ErrSiteLost, st.Name(), h.ID)
+		h.resub++
+		h.state = Pending
+		b.scheduleRetry(h)
+	default:
+		b.release(h)
+		b.finish(h)
+	}
 }
 
 // exclusiveBody wraps the job body for gatekeeper-path execution: one
 // full-share slot per allocated node, startup cost, then the body.
-func (b *Broker) exclusiveBody(h *Handle, st *site.Site, bodyDone interface{ Fire() }) func(*batch.ExecCtx) {
+// The killed trigger (may be nil) relays the LRM's kill notification
+// — fired when the site crashes under the running job — to the
+// broker's wait loop.
+func (b *Broker) exclusiveBody(h *Handle, st *site.Site, bodyDone interface{ Fire() }, killed *simclock.Trigger) func(*batch.ExecCtx) {
 	return func(ctx *batch.ExecCtx) {
+		if killed != nil {
+			ctx.Killed.OnFire(killed.Fire)
+		}
 		slots := make([]*vmslot.Slot, len(ctx.Nodes))
 		for i, n := range ctx.Nodes {
 			slots[i] = n.CPU.NewSlot(h.ID, interactiveTickets)
 		}
 		b.sim.Sleep(st.Costs().JobStartup)
 		rc := b.makeRunContext(h, st, slots)
+		ctx.Killed.OnFire(rc.Killed.Fire)
+		h.abort.OnFire(rc.Killed.Fire)
 		b.runBody(h, rc)
 		for _, s := range slots {
 			s.Close()
@@ -325,68 +472,87 @@ func (b *Broker) exclusiveBody(h *Handle, st *site.Site, bodyDone interface{ Fir
 
 func (b *Broker) runInteractiveShared(h *Handle) {
 	job := h.request.Job
-
-	// Combined discovery+selection over the local registry.
-	start := b.sim.Now()
-	b.sim.Sleep(b.cfg.AgentRegistryCost)
-	free := b.freeAgentsMatching(job)
-	h.Phases.Selection = b.sim.Since(start)
-
-	subStart := b.sim.Now()
-	h.FirstOutput.OnFire(func() { h.Phases.Submission = b.sim.Since(subStart) })
-
-	need := job.NodeNumber
-	// Expand each free agent by its free interactive VM count: with a
-	// multiprogramming degree above one, several subjobs may share a
-	// node.
-	var chosen []*glidein.Agent
-	for _, a := range free {
-		for k := 0; k < a.FreeSlots() && len(chosen) < need; k++ {
-			chosen = append(chosen, a)
+	first := true
+	for {
+		if h.abort.Fired() {
+			b.fail(h, h.abortErr)
+			return
 		}
-		if len(chosen) == need {
-			break
+		// Combined discovery+selection over the local registry.
+		start := b.sim.Now()
+		b.sim.Sleep(b.cfg.AgentRegistryCost)
+		free := b.freeAgentsMatching(job)
+		if first {
+			first = false
+			h.Phases.Selection = b.sim.Since(start)
+			subStart := b.sim.Now()
+			h.FirstOutput.OnFire(func() { h.Phases.Submission = b.sim.Since(subStart) })
 		}
-	}
 
-	// Fill the shortfall with fresh agents on idle machines, "in a
-	// similar way to the case of a batch job".
-	if len(chosen) < need {
-		snap := b.discover(h)
-		cands := b.selection(h, snap, nil)
-		for i := range cands {
-			for len(chosen) < need && cands[i].free > 0 {
-				agent, bh, err := glidein.LaunchWithOptions(b.sim, cands[i].site, nil, 10,
-					glidein.Options{Degree: b.cfg.AgentDegree})
-				if err != nil {
-					break
-				}
-				b.wireAgent(agent, cands[i].site)
-				if !b.waitTrigger(agent.Ready(), b.cfg.QueueTimeout) {
-					cands[i].site.Queue().Kill(bh.ID())
-					break
-				}
-				cands[i].free--
-				for k := 0; k < agent.FreeSlots() && len(chosen) < need; k++ {
-					chosen = append(chosen, agent)
-				}
+		need := job.NodeNumber
+		// Expand each free agent by its free interactive VM count:
+		// with a multiprogramming degree above one, several subjobs
+		// may share a node.
+		var chosen []*glidein.Agent
+		for _, a := range free {
+			for k := 0; k < a.FreeSlots() && len(chosen) < need; k++ {
+				chosen = append(chosen, a)
 			}
 			if len(chosen) == need {
 				break
 			}
 		}
-	}
 
-	if len(chosen) < need {
-		if !b.admissionOK(h.request.User) {
-			b.fail(h, ErrRejected)
+		// Fill the shortfall with fresh agents on idle machines, "in a
+		// similar way to the case of a batch job".
+		if len(chosen) < need {
+			snap := b.discover(h)
+			cands := b.selection(h, snap, nil)
+			for i := range cands {
+				for len(chosen) < need && cands[i].free > 0 {
+					agent, bh, err := glidein.LaunchWithOptions(b.sim, cands[i].site, nil, 10,
+						glidein.Options{Degree: b.cfg.AgentDegree})
+					if err != nil {
+						if retryableSubmitErr(err) {
+							b.noteSiteFailure(cands[i].site.Name())
+						}
+						break
+					}
+					b.wireAgent(agent, cands[i].site)
+					if !b.waitTrigger(agent.Ready(), b.cfg.QueueTimeout) {
+						cands[i].site.Queue().Kill(bh.ID())
+						break
+					}
+					cands[i].free--
+					for k := 0; k < agent.FreeSlots() && len(chosen) < need; k++ {
+						chosen = append(chosen, agent)
+					}
+				}
+				if len(chosen) == need {
+					break
+				}
+			}
+		}
+
+		if len(chosen) < need {
+			if !b.admissionOK(h.request.User) {
+				b.fail(h, ErrRejected)
+				return
+			}
+			b.fail(h, ErrNoResources)
 			return
 		}
-		b.fail(h, ErrNoResources)
-		return
-	}
 
-	b.placeOnAgents(h, chosen)
+		if b.placeOnAgents(h, chosen) {
+			return
+		}
+		// A hosting agent died mid-run: kill-and-resubmit, bounded by
+		// the resubmission budget.
+		if b.cfg.MaxResubmits > 0 && h.resub > b.cfg.MaxResubmits {
+			b.failResubmits(h)
+			return
+		}
+	}
 }
 
 // freeAgentsMatching returns free agents whose site satisfies the
@@ -418,8 +584,11 @@ func (b *Broker) freeAgentsMatching(job *jdl.Job) []*glidein.Agent {
 	return out
 }
 
-// placeOnAgents runs the job across the chosen interactive VMs.
-func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) {
+// placeOnAgents runs the job across the chosen interactive VMs. It
+// reports whether the job reached a terminal state (finished, failed
+// or aborted); false means a hosting agent died mid-run and the
+// caller should kill-and-resubmit.
+func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) bool {
 	job := h.request.Job
 	st := b.agentSites[agents[0]]
 	h.site = st.Name()
@@ -443,7 +612,7 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) {
 	for i, a := range agents {
 		i := i
 		done, err := a.StartInteractive(glidein.InteractiveJob{
-			ID:              fmt.Sprintf("%s#%d", h.ID, i),
+			ID:              fmt.Sprintf("%s#%d.%d", h.ID, i, h.resub),
 			Owner:           h.request.User,
 			PerformanceLoss: job.PerformanceLoss,
 			Run: func(ctx *glidein.InteractiveContext) {
@@ -459,7 +628,7 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) {
 			// Registry race: someone took the VM. Treat as failure.
 			jobDone.Fire()
 			b.fail(h, ErrNoResources)
-			return
+			return true
 		}
 		doneTs = append(doneTs, done)
 	}
@@ -468,13 +637,54 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) {
 	h.state = Running
 	b.account(h, len(agents))
 
-	b.sim.Sleep(st.Costs().JobStartup)
-	rc := b.makeRunContext(h, st, slots)
-	b.runBody(h, rc)
-	jobDone.Fire()
-	for _, t := range doneTs {
-		t.Wait()
+	// Heartbeat monitoring: a hosting agent's death is noticed one
+	// AgentHeartbeat after the loss.
+	lost := b.sim.NewTrigger()
+	seen := make(map[*glidein.Agent]bool, len(agents))
+	for _, a := range agents {
+		if seen[a] {
+			continue
+		}
+		seen[a] = true
+		a.Released().OnFire(func() { b.sim.AfterFunc(b.cfg.AgentHeartbeat, lost.Fire) })
 	}
-	b.release(h)
-	b.finish(h)
+
+	bodyEnd := b.sim.NewTrigger()
+	b.sim.Go(func() {
+		b.sim.Sleep(st.Costs().JobStartup)
+		rc := b.makeRunContext(h, st, slots)
+		lost.OnFire(rc.Killed.Fire)
+		h.abort.OnFire(rc.Killed.Fire)
+		b.runBody(h, rc)
+		bodyEnd.Fire()
+	})
+
+	w := b.sim.NewTrigger()
+	bodyEnd.OnFire(w.Fire)
+	lost.OnFire(w.Fire)
+	h.abort.OnFire(w.Fire)
+	w.Wait()
+	jobDone.Fire() // unwind the VM placeholders on surviving agents
+	// bodyEnd also fires when the body stopped because its allocation
+	// was lost or aborted, so the failure outcomes are checked first.
+	switch {
+	case h.abort.Fired():
+		b.release(h)
+		b.fail(h, h.abortErr)
+		return true
+	case lost.Fired():
+		// Agent lost: release the accounting, report the kill, let
+		// the caller resubmit on the surviving registry.
+		b.release(h)
+		h.lastErr = fmt.Errorf("%w while running %s", ErrAgentLost, h.ID)
+		h.resub++
+		return false
+	default:
+		for _, t := range doneTs {
+			t.Wait()
+		}
+		b.release(h)
+		b.finish(h)
+		return true
+	}
 }

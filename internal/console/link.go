@@ -74,6 +74,7 @@ type Link struct {
 	closed   bool
 	failed   bool
 	retrying bool
+	watchGen int // invalidates stale give-up watchdogs
 	// pendingEOF tracks fast-mode stream EOFs not yet written to a
 	// live connection. EOF is control information the agent knows
 	// authoritatively, so unlike fast-mode data it is re-sent after a
@@ -336,7 +337,8 @@ func (l *Link) notePendingEOFLocked(stream Stream) {
 }
 
 // markDeadLocked drops the connection (if it is still the current one)
-// and, on the dial side, starts the retry loop.
+// and, on the dial side, starts the retry loop. On the accept side it
+// arms the give-up watchdog instead.
 func (l *Link) markDeadLocked(conn net.Conn) {
 	if l.conn != conn || l.conn == nil {
 		return
@@ -344,6 +346,34 @@ func (l *Link) markDeadLocked(conn net.Conn) {
 	l.conn.Close()
 	l.conn = nil
 	l.startRetryLocked()
+	l.startWatchdogLocked()
+}
+
+// startWatchdogLocked arms the accept-side give-up timer: reconnection
+// is the dialing agent's job, so the shadow's link just waits out the
+// peer's whole retry budget (plus one interval of slack for the last
+// in-flight attempt) and then declares the link permanently failed.
+func (l *Link) startWatchdogLocked() {
+	if l.dial != nil || l.onFail == nil || l.failed || l.closed {
+		return
+	}
+	l.watchGen++
+	gen := l.watchGen
+	go l.watchdog(gen)
+}
+
+func (l *Link) watchdog(gen int) {
+	grace := time.Duration(l.cfg.MaxRetries+1) * l.cfg.RetryInterval
+	time.Sleep(grace)
+	l.mu.Lock()
+	if gen != l.watchGen || l.conn != nil || l.failed || l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.failed = true
+	cb := l.onFail
+	l.mu.Unlock()
+	cb(fmt.Errorf("%w: no reconnection within %v", ErrLinkFailed, grace))
 }
 
 func (l *Link) readLoop(conn net.Conn) {

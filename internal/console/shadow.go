@@ -49,6 +49,14 @@ type ShadowConfig struct {
 	// discards auxiliary traffic. Auxiliary channels do not gate the
 	// shadow's completion.
 	AuxSink func(subjob uint16, channel int, data []byte, eof bool)
+	// OnLinkFail is called when a subjob's link gives up permanently
+	// (the agent's whole retry budget passed with no reconnection).
+	// Per the paper the remote process is killed at that point, so the
+	// shadow reports the failure here — typically wired to the broker
+	// to drive the job into a terminal failed state — and releases the
+	// subjob's streams so Done can still fire. Nil disables reporting
+	// (the session then simply never completes).
+	OnLinkFail func(subjob uint16, err error)
 }
 
 // Shadow is the Console Shadow / Job Shadow (CS/JS) of Section 4,
@@ -67,6 +75,7 @@ type Shadow struct {
 	done      chan struct{}
 	closed    bool
 	acceptErr error
+	linkErr   error
 }
 
 // StartShadow creates the shadow, pre-creating one link per expected
@@ -110,7 +119,7 @@ func StartShadow(cfg ShadowConfig) (*Shadow, error) {
 			DiskCost:      cfg.DiskCost,
 			SpillPath:     filepath.Join(spillDir, fmt.Sprintf("cs-spill-%d-%d.log", os.Getpid(), sub)),
 		}
-		link, err := NewAcceptLink(lcfg, s.receiverFor(sub), nil)
+		link, err := NewAcceptLink(lcfg, s.receiverFor(sub), s.failerFor(sub))
 		if err != nil {
 			for _, l := range s.links {
 				l.Close()
@@ -148,6 +157,34 @@ func (s *Shadow) receiverFor(sub uint16) Receiver {
 			s.errBuf.Write(data)
 		}
 	}
+}
+
+// failerFor handles one subjob's permanent link failure: record it,
+// report the give-up kill upstream, and mark the subjob's streams
+// terminated so the remaining healthy subjobs can still complete the
+// session.
+func (s *Shadow) failerFor(sub uint16) func(error) {
+	return func(err error) {
+		s.mu.Lock()
+		if s.linkErr == nil {
+			s.linkErr = fmt.Errorf("subjob %d: %w", sub, err)
+		}
+		cb := s.cfg.OnLinkFail
+		s.mu.Unlock()
+		if cb != nil {
+			cb(sub, err)
+		}
+		s.markEOF(sub, Stdout)
+		s.markEOF(sub, Stderr)
+	}
+}
+
+// LinkFailure returns the first permanent link failure observed (nil
+// while every subjob's link is healthy or merely retrying).
+func (s *Shadow) LinkFailure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.linkErr
 }
 
 func (s *Shadow) markEOF(sub uint16, stream Stream) {

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"crossbroker/internal/broker"
+	"crossbroker/internal/console"
 	"crossbroker/internal/interpose"
 	"crossbroker/internal/jdl"
 )
@@ -280,5 +282,79 @@ func TestAuxSession(t *testing.T) {
 	}
 	if out.String() != "main output\n" {
 		t.Fatalf("stdout = %q", out.String())
+	}
+}
+
+// TestConsoleGiveUpKillAbortsJob is the end-to-end give-up path of
+// Section 4: a running interactive job loses its console permanently,
+// the reliable link exhausts its retry budget (the agent kills the
+// application), the shadow reports the kill through OnLinkFail, and
+// that report drives the broker job into a terminal failed state with
+// its resources released.
+func TestConsoleGiveUpKillAbortsJob(t *testing.T) {
+	sys := NewSystem(SystemConfig{Sites: []SiteSpec{{Name: "site00", Nodes: 2}}})
+	h, err := sys.SubmitJDL(`
+Executable    = "steering_app";
+JobType       = {"interactive", "sequential"};
+StreamingMode = "reliable";
+`, "interowner", time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(2 * time.Minute)
+	if h.State() != broker.Running {
+		t.Fatalf("job not running before outage: %v %v", h.State(), h.Err())
+	}
+
+	// The real-time console session for the running job.
+	linkFailed := make(chan error, 1)
+	sess, err := StartSession(SessionConfig{
+		Mode:          jdl.ReliableStreaming,
+		Stdout:        io.Discard,
+		Stderr:        io.Discard,
+		SpillDir:      t.TempDir(),
+		RetryInterval: 10 * time.Millisecond,
+		MaxRetries:    5,
+		OnLinkFail: func(sub uint16, err error) {
+			select {
+			case linkFailed <- err:
+			default:
+			}
+		},
+	}, []interpose.AppFunc{func(stdin io.Reader, stdout, stderr io.Writer) error {
+		io.Copy(io.Discard, stdin) // runs until the give-up kill
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	sess.Net.SetDown(true) // permanent outage
+
+	var failErr error
+	select {
+	case failErr = <-linkFailed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("shadow never reported the give-up kill")
+	}
+
+	// The report reaches the broker as an abort of the running job.
+	sys.Sim.AfterFunc(time.Second, func() {
+		sys.Broker.Abort(h, fmt.Errorf("console reported give-up kill: %w", failErr))
+	})
+	sys.Run(time.Minute)
+
+	if h.State() != broker.Failed {
+		t.Fatalf("state = %v, want Failed", h.State())
+	}
+	if !errors.Is(h.Err(), console.ErrLinkFailed) {
+		t.Fatalf("err = %v, want to wrap console.ErrLinkFailed", h.Err())
+	}
+	if n := sys.Broker.LeasedCPUs(); n != 0 {
+		t.Fatalf("%d CPUs still leased after abort", n)
+	}
+	if n := sys.Sites[0].Queue().RunningCount(); n != 0 {
+		t.Fatalf("%d jobs still running at the site", n)
 	}
 }

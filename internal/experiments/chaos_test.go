@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestChaosSweepDeterministic is the fault layer's acceptance check:
+// the same seed must produce byte-identical results.
+func TestChaosSweepDeterministic(t *testing.T) {
+	cfg := ChaosConfig{Seed: 7, Quick: true}
+	a, err := ChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed produced different sweeps:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestChaosSweepRecovers checks the recovery invariants at every
+// failure rate: all jobs reach a terminal state, no lease survives the
+// drain, and faults actually land at nonzero rates.
+func TestChaosSweepRecovers(t *testing.T) {
+	pts, err := ChaosSweep(ChaosConfig{Seed: 2006, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2 (quick sweep)", len(pts))
+	}
+	for _, p := range pts {
+		if p.Done+p.Aborted != p.Submitted {
+			t.Errorf("rate %.2g: %d done + %d aborted != %d submitted (non-terminal jobs)",
+				p.CrashRate, p.Done, p.Aborted, p.Submitted)
+		}
+		if p.LeakedLeases != 0 {
+			t.Errorf("rate %.2g: %d leases leaked", p.CrashRate, p.LeakedLeases)
+		}
+	}
+	calm, chaotic := pts[0], pts[1]
+	if calm.CrashRate != 0 || calm.Injected != 0 {
+		t.Fatalf("baseline point not fault-free: rate %.2g injected %d",
+			calm.CrashRate, calm.Injected)
+	}
+	if calm.Done != calm.Submitted || calm.Resubmissions != 0 {
+		t.Errorf("fault-free grid lost jobs: %+v", calm)
+	}
+	if chaotic.Injected == 0 {
+		t.Error("chaotic point injected no faults")
+	}
+	if s := RenderChaos(pts); s == "" {
+		t.Error("empty render")
+	}
+}

@@ -256,6 +256,18 @@ func (a *Agent) Running() int { return len(a.activePL) }
 // machine.
 func (a *Agent) Released() *simclock.Trigger { return a.released }
 
+// Die kills the agent process on its node (fault injection: the
+// glide-in segfaults or is OOM-killed). The node job unwinds exactly
+// as on a voluntary leave — Released fires, the batch VM closes, the
+// LRM sees the job complete — and the broker's heartbeat monitoring
+// notices the loss and resubmits any hosted payloads. Idempotent;
+// a no-op for agents that already left.
+func (a *Agent) Die() {
+	if !a.released.Fired() {
+		a.released.Fire()
+	}
+}
+
 // Ready fires once the agent holds its node and its virtual machines
 // exist — the point from which StartInteractive may be called.
 func (a *Agent) Ready() *simclock.Trigger { return a.ready }
@@ -310,9 +322,13 @@ func (a *Agent) StartInteractive(job InteractiveJob) (*simclock.Trigger, error) 
 		}
 		slot.Close()
 		delete(a.activePL, job.ID)
-		a.applyBatchShare(false)
-		if a.OnFree != nil && !a.released.Fired() {
-			a.OnFree(a)
+		if !a.released.Fired() {
+			// Skip share juggling on a dead agent: its batch VM is
+			// already closed.
+			a.applyBatchShare(false)
+			if a.OnFree != nil {
+				a.OnFree(a)
+			}
 		}
 		done.Fire()
 		a.maybeLeave()

@@ -376,6 +376,13 @@ type Service struct {
 	records map[string]SiteRecord
 	epoch   uint64
 	snap    *Snapshot // built lazily, valid while snap.epoch == epoch
+
+	// partitioned freezes the served view: while set, queries are
+	// answered from the snapshot taken at partition start even though
+	// sites keep publishing. Models a network partition between the
+	// broker and the index (or a wedged GIIS serving stale registrations).
+	partitioned bool
+	frozen      *Snapshot
 }
 
 // New creates an information service on clock whose queries cost
@@ -444,10 +451,20 @@ func (s *Service) Snapshot() *Snapshot {
 }
 
 // SnapshotImmediate returns the current snapshot without charging
-// query latency; tests and instrumentation use it.
+// query latency; tests and instrumentation use it. While the service
+// is partitioned it returns the view frozen at partition start.
 func (s *Service) SnapshotImmediate() *Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.partitioned {
+		return s.frozen
+	}
+	return s.currentLocked()
+}
+
+// currentLocked rebuilds the lazy snapshot if the epoch moved. Callers
+// must hold s.mu.
+func (s *Service) currentLocked() *Snapshot {
 	if s.snap == nil || s.snap.epoch != s.epoch {
 		recs := make([]SiteRecord, 0, len(s.records))
 		for _, r := range s.records {
@@ -459,6 +476,31 @@ func (s *Service) SnapshotImmediate() *Snapshot {
 		s.snap = newSnapshot(s.epoch, recs, s.snap)
 	}
 	return s.snap
+}
+
+// SetPartitioned cuts (or heals) the broker↔index link. While cut,
+// every query is served from the snapshot taken at partition start:
+// publishes still land in the registry, but brokers see a stale world
+// until the partition heals. Healing resumes normal (current-epoch)
+// service on the next query.
+func (s *Service) SetPartitioned(cut bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cut && !s.partitioned {
+		s.frozen = s.currentLocked()
+	}
+	if !cut {
+		s.frozen = nil
+	}
+	s.partitioned = cut
+}
+
+// Partitioned reports whether the service is currently serving the
+// frozen partition-time view.
+func (s *Service) Partitioned() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partitioned
 }
 
 // Query returns a deep-copied snapshot of all published records,

@@ -13,6 +13,8 @@
 package site
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"crossbroker/internal/batch"
@@ -20,6 +22,21 @@ import (
 	"crossbroker/internal/netsim"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/vmslot"
+)
+
+// Failure-model errors. Both mark the submission attempt as failed at
+// this site; the broker treats them as retryable elsewhere.
+var (
+	// ErrSiteDown is returned when the gatekeeper cannot be reached —
+	// the site crashed or the network path to it is out.
+	ErrSiteDown = errors.New("site: gatekeeper unreachable")
+	// ErrCommitAborted is returned when the site dies between the
+	// LRM's phase-1 accept and the phase-2 commit acknowledgment: the
+	// two-phase commit is aborted and the job does not hold resources.
+	ErrCommitAborted = errors.New("site: two-phase commit aborted")
+	// ErrGatekeeperTimeout is returned when a submission hangs inside
+	// an injected gatekeeper stall window and times out.
+	ErrGatekeeperTimeout = errors.New("site: gatekeeper timed out")
 )
 
 // Costs are the per-submission overheads of the site's middleware
@@ -93,6 +110,12 @@ type Site struct {
 	sim   *simclock.Sim
 	cfg   Config
 	queue *batch.Queue
+
+	// Failure-model state (driven by internal/faultinject or tests).
+	down         bool // crashed: gatekeeper and worker pool dead
+	unreachable  bool // network outage: site alive but cut off
+	gkStallUntil time.Time
+	deathHooks   []func()
 }
 
 // New creates a site with its local queue and worker nodes.
@@ -134,6 +157,51 @@ func (s *Site) Network() netsim.Profile { return s.cfg.Network }
 // QueueSlots returns the pending-queue capacity the broker respects.
 func (s *Site) QueueSlots() int { return s.cfg.QueueSlots }
 
+// Crash kills the site: the gatekeeper stops answering, every running
+// job dies (their bodies observe Killed, evicting glide-in agents),
+// pending LRM jobs are dropped, and the registered death hooks fire so
+// the broker can reclaim leases and quarantine the site. Idempotent
+// until Restart.
+func (s *Site) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.queue.CrashAll()
+	for _, fn := range s.deathHooks {
+		fn()
+	}
+}
+
+// Restart brings a crashed site back up with an empty queue and free
+// nodes; it resumes publishing on the next tick.
+func (s *Site) Restart() { s.down = false }
+
+// Down reports whether the site is crashed.
+func (s *Site) Down() bool { return s.down }
+
+// SetUnreachable cuts (true) or restores (false) the network path to
+// the site. Unlike Crash, running jobs keep running — only new
+// gatekeeper traffic (submissions, state probes, commit acks) fails.
+func (s *Site) SetUnreachable(cut bool) { s.unreachable = cut }
+
+// Available reports whether the gatekeeper can currently be reached.
+func (s *Site) Available() bool { return !s.down && !s.unreachable }
+
+// StallGatekeeper makes submissions arriving within the next d hang
+// until the window ends and then fail with ErrGatekeeperTimeout (a
+// wedged jobmanager). Overlapping stalls extend to the latest end.
+func (s *Site) StallGatekeeper(d time.Duration) {
+	until := s.sim.Now().Add(d)
+	if until.After(s.gkStallUntil) {
+		s.gkStallUntil = until
+	}
+}
+
+// OnDeath registers fn to run (in simulation context) when the site
+// crashes. The broker hooks lease reclamation and quarantine here.
+func (s *Site) OnDeath(fn func()) { s.deathHooks = append(s.deathHooks, fn) }
+
 // Record builds the site's current information-system record.
 func (s *Site) Record() infosys.SiteRecord {
 	return infosys.SiteRecord{
@@ -148,10 +216,14 @@ func (s *Site) Record() infosys.SiteRecord {
 
 // StartPublishing pushes the site record to the information service
 // now and on every PublishInterval, mirroring GRIS->GIIS registration.
+// A crashed or partitioned-off site skips its pushes (a dead GRIS),
+// so its record goes stale in the index until it comes back.
 func (s *Site) StartPublishing(is *infosys.Service) {
 	var tick func()
 	tick = func() {
-		is.Publish(s.Record())
+		if s.Available() {
+			is.Publish(s.Record())
+		}
 		s.sim.AfterFunc(s.cfg.PublishInterval, tick)
 	}
 	tick()
@@ -160,10 +232,22 @@ func (s *Site) StartPublishing(is *infosys.Service) {
 // QueryState is the broker's direct query for up-to-date queue
 // information during the selection phase. It costs one network round
 // trip plus a small gatekeeper processing delay, and must run in a
-// simulation process.
+// simulation process. An unreachable site reports zero capacity; use
+// QueryStateOK to distinguish a probe failure from a full site.
 func (s *Site) QueryState() (free, queued int) {
+	free, queued, _ = s.QueryStateOK()
+	return free, queued
+}
+
+// QueryStateOK is QueryState with an explicit probe outcome: ok is
+// false when the gatekeeper could not be reached (the probe still
+// costs its round trip — the timeout the broker waited out).
+func (s *Site) QueryStateOK() (free, queued int, ok bool) {
 	s.sim.Sleep(s.cfg.Network.RTT() + s.cfg.QueryCost)
-	return s.queue.FreeNodeCount(), s.queue.QueueLength()
+	if !s.Available() {
+		return 0, 0, false
+	}
+	return s.queue.FreeNodeCount(), s.queue.QueueLength(), true
 }
 
 // SubmitOptions select which middleware costs a gatekeeper submission
@@ -182,22 +266,56 @@ type SubmitOptions struct {
 // enqueue. It must run in a simulation process and returns once the
 // job is accepted by the LRM (the commit point), with the handle for
 // tracking.
+//
+// Failure model: an unreachable gatekeeper fails the attempt with
+// ErrSiteDown after the connection round trip; a site that crashes
+// mid-submission fails the phase it was in; a crash or outage between
+// the LRM's phase-1 accept and the phase-2 commit acknowledgment
+// aborts the two-phase commit — the uncommitted job is withdrawn from
+// the LRM (if it still exists) and ErrCommitAborted is returned, so
+// the broker's lease release leaves no resources stranded.
 func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, error) {
 	c := s.cfg.Costs
+	if stall := s.gkStallUntil.Sub(s.sim.Now()); stall > 0 {
+		// A wedged jobmanager: the request hangs for the remainder of
+		// the stall window, then the broker's submission times out.
+		s.sim.Sleep(stall)
+		return nil, fmt.Errorf("%w after %v", ErrGatekeeperTimeout, stall)
+	}
+	if !s.Available() {
+		s.sim.Sleep(s.cfg.Network.RTT()) // failed connection attempt
+		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name)
+	}
 	if !opts.SkipStage {
 		s.sim.Sleep(c.Stage)
 	}
 	// Request travels to the gatekeeper; two-phase commit costs a
 	// second round trip after the LRM accepts.
 	s.sim.Sleep(s.cfg.Network.RTT())
+	if !s.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name)
+	}
 	s.sim.Sleep(c.Auth + c.GRAM)
 	if opts.WithAgent {
 		s.sim.Sleep(c.AgentStage)
 	}
-	h, err := s.queue.Submit(req)
+	if !s.Available() {
+		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name)
+	}
+	h, err := s.queue.Submit(req) // phase-1 accept
 	if err != nil {
 		return nil, err
 	}
 	s.sim.Sleep(s.cfg.Network.RTT()) // commit acknowledgment
+	if !s.Available() {
+		// Phase 2 never completed: abort. A crash already dropped the
+		// job with the rest of the queue; after a mere outage the LRM
+		// aborts the uncommitted job when its commit timer expires.
+		s.queue.Kill(req.ID)
+		if req.ID == "" {
+			s.queue.Kill(h.ID())
+		}
+		return nil, fmt.Errorf("%w: %s died before commit", ErrCommitAborted, s.cfg.Name)
+	}
 	return h, nil
 }
