@@ -94,7 +94,7 @@ func main() {
 		MaxRetries:    *retries,
 	}, proc)
 	if err != nil {
-		proc.Kill()
+		_ = proc.Kill()
 		fatal("start agent: %v", err)
 	}
 

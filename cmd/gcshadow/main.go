@@ -129,7 +129,9 @@ func fileAuxSink(dir string) func(uint16, int, []byte, bool) {
 			}
 			return
 		}
-		f.Write(data)
+		if _, err := f.Write(data); err != nil {
+			fmt.Fprintf(os.Stderr, "gcshadow: aux channel: %v\n", err)
+		}
 	}
 }
 

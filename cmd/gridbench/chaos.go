@@ -7,6 +7,7 @@ import (
 	"runtime"
 
 	"crossbroker/internal/experiments"
+	"crossbroker/internal/trace"
 )
 
 // chaosReport is the BENCH_chaos.json document: broker failure
@@ -22,9 +23,14 @@ type chaosReport struct {
 
 // chaos runs the failure-rate sweep and writes BENCH_chaos.json.
 // The sweep is fully deterministic for a fixed seed: two runs produce
-// byte-identical point lists.
-func chaos(out string, quick bool, seed int64) error {
-	pts, err := experiments.ChaosSweep(experiments.ChaosConfig{Seed: seed, Quick: quick})
+// byte-identical point lists (and, with -traceout, byte-identical
+// event logs). A non-empty traceout enables per-cell tracing, checks
+// every cell's log against the trace invariants, and exports the logs
+// as JSONL.
+func chaos(out, traceout string, quick bool, seed int64) error {
+	pts, err := experiments.ChaosSweep(experiments.ChaosConfig{
+		Seed: seed, Quick: quick, Traced: traceout != "",
+	})
 	if err != nil {
 		return err
 	}
@@ -54,5 +60,39 @@ func chaos(out string, quick bool, seed int64) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	if traceout != "" {
+		if err := exportChaosTraces(traceout, pts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// exportChaosTraces runs the invariant checker over every cell's event
+// log — the sweep drained, so the strict CheckComplete applies — and
+// writes the logs as one JSONL stream.
+func exportChaosTraces(path string, pts []experiments.ChaosPoint) error {
+	traces := make([]trace.Trace, 0, len(pts))
+	events := 0
+	for _, p := range pts {
+		if v := trace.CheckComplete(p.Trace.Events); len(v) != 0 {
+			return fmt.Errorf("chaos: %s: %d trace invariant violations, first: %s",
+				p.Trace.Label, len(v), v[0])
+		}
+		events += len(p.Trace.Events)
+		traces = append(traces, p.Trace)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells, %d events, invariants clean)\n", path, len(traces), events)
 	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"crossbroker/internal/trace"
+)
+
+// checktrace verifies a JSONL event log produced by -exp chaos
+// -traceout (or any trace.WriteJSONL export): it parses the stream,
+// runs the structural invariant checker over every embedded trace, and
+// prints a per-trace summary with derived latencies. A non-empty
+// chromeOut additionally converts the whole log to Chrome trace_event
+// JSON for chrome://tracing / Perfetto.
+func checktrace(in, chromeOut string) error {
+	if in == "" {
+		return fmt.Errorf("-tracein is required")
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	traces, err := trace.ParseJSONL(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	if len(traces) == 0 {
+		return fmt.Errorf("%s holds no events", in)
+	}
+
+	bad := 0
+	for _, tr := range traces {
+		label := tr.Label
+		if label == "" {
+			label = "(unlabeled)"
+		}
+		violations := trace.CheckComplete(tr.Events)
+		tls := trace.Timelines(tr.Events)
+		var resubs int
+		for _, tl := range tls {
+			resubs += tl.Latencies().Resubmits
+		}
+		fmt.Printf("%s: %d events, %d jobs, %d resubmissions, %d violations\n",
+			label, len(tr.Events), len(tls), resubs, len(violations))
+		for _, v := range violations {
+			fmt.Printf("  VIOLATION %s\n", v)
+		}
+		bad += len(violations)
+	}
+
+	if chromeOut != "" {
+		g, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChromeTrace(g, traces); err != nil {
+			g.Close()
+			return err
+		}
+		if err := g.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", chromeOut)
+	}
+	if bad != 0 {
+		return fmt.Errorf("%d invariant violations in %s", bad, in)
+	}
+	fmt.Printf("%s: all invariants hold\n", in)
+	return nil
+}

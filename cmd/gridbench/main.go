@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, chaos, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, chaos, checktrace, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
 	iters := flag.Int("iters", 1000, "loop iterations (fig 8)")
@@ -39,6 +39,11 @@ func main() {
 	benchOut := flag.String("benchout", "BENCH_matchmaking.json", "output path for -exp bench")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -exp chaos")
 	quick := flag.Bool("quick", false, "shrink -exp chaos for smoke runs")
+	traceOut := flag.String("traceout", "", "enable event tracing in -exp chaos and write the logs as JSONL here")
+	traceIn := flag.String("tracein", "", "JSONL event log to verify with -exp checktrace")
+	chromeOut := flag.String("chromeout", "", "also convert -tracein to Chrome trace_event JSON at this path")
+	baseline := flag.String("baseline", "", "committed BENCH_matchmaking.json to compare -exp bench results against")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs -baseline before failing")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -60,8 +65,13 @@ func main() {
 	run("fig7", func() error { return pingpong("fig7", netsim.WideArea(), *rounds, *scale, *seed, *series) })
 	run("fig8", func() error { return fig8(*iters, *series) })
 	run("ablations", func() error { return ablations(*scale, *seed) })
-	run("bench", func() error { return bench(*benchOut) })
-	run("chaos", func() error { return chaos(*chaosOut, *quick, *seed) })
+	run("bench", func() error { return bench(*benchOut, *baseline, *tolerance) })
+	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *seed) })
+	// checktrace verifies an existing log, so it only runs when named
+	// explicitly (there is nothing to check under -exp all).
+	if *exp == "checktrace" {
+		run("checktrace", func() error { return checktrace(*traceIn, *chromeOut) })
+	}
 }
 
 func table1(runs int, seed int64) error {

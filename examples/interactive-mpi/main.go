@@ -112,7 +112,7 @@ func simulationRank(r *mpisim.Rank) error {
 	}
 
 	// Other ranks obey rank 0's broadcasts; their stdin is unused.
-	io.Copy(io.Discard, r.Stdin)
+	_, _ = io.Copy(io.Discard, r.Stdin)
 	for {
 		msg, err := r.Bcast(0, nil)
 		if err != nil {

@@ -38,6 +38,7 @@ import (
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 	"crossbroker/internal/vmslot"
 )
 
@@ -157,6 +158,10 @@ type Config struct {
 	// broker notices a dead agent one heartbeat after the loss and
 	// kill-and-resubmits the hosted interactive job (default 10 s).
 	AgentHeartbeat time.Duration
+	// Trace records per-job lifecycle events (internal/trace). Nil —
+	// the default — disables tracing; instrumented paths then pay one
+	// nil check per potential event.
+	Trace *trace.Tracer
 }
 
 func (c *Config) setDefaults() {
@@ -392,6 +397,7 @@ func New(cfg Config) *Broker {
 func (b *Broker) RegisterSite(st *site.Site) {
 	b.sites[st.Name()] = st
 	name := st.Name()
+	st.SetTracer(b.cfg.Trace)
 	st.OnDeath(func() {
 		b.releaseSiteLeases(name)
 		b.quarantineNow(name)
@@ -480,8 +486,21 @@ func (b *Broker) Submit(req Request) (*Handle, error) {
 		abort:       b.sim.NewTrigger(),
 		submittedAt: b.sim.Now(),
 	}
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Submitted, Job: h.ID, Detail: jobClass(req.Job)})
 	b.sim.Go(func() { b.route(h) })
 	return h, nil
+}
+
+// jobClass names the scheduling path a job will take (trace detail).
+func jobClass(job *jdl.Job) string {
+	switch {
+	case !job.Interactive:
+		return "batch"
+	case job.Access == jdl.SharedAccess:
+		return "interactive-shared"
+	default:
+		return "interactive-exclusive"
+	}
 }
 
 // Abort kills a submission from outside the scheduling flow — the
@@ -521,6 +540,11 @@ func (b *Broker) fail(h *Handle, err error) {
 	h.state = Failed
 	h.err = err
 	h.finishedAt = b.sim.Now()
+	kind := trace.Failed
+	if errors.Is(err, ErrAborted) || (h.abort.Fired() && err == h.abortErr) {
+		kind = trace.Aborted
+	}
+	b.cfg.Trace.Emit(trace.Event{Kind: kind, Job: h.ID, Site: h.site, Attempt: h.resub, Detail: err.Error()})
 	h.Done.Fire()
 }
 
@@ -530,8 +554,17 @@ func (b *Broker) finish(h *Handle) {
 	}
 	h.state = Done
 	h.finishedAt = b.sim.Now()
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Done, Job: h.ID, Site: h.site, Attempt: h.resub})
 	h.Done.Fire()
 	b.kickDispatch()
+}
+
+// noteResub advances a job's attempt counter after a failed attempt at
+// siteName, emitting the Resubmitted trace event with the failure
+// reason.
+func (b *Broker) noteResub(h *Handle, siteName, reason string) {
+	h.resub++
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Resubmitted, Job: h.ID, Site: siteName, Attempt: h.resub, Detail: reason})
 }
 
 // failResubmits terminally aborts a job whose recovery budget is
@@ -570,6 +603,9 @@ func (b *Broker) noteSiteFailure(name string) {
 	}
 	hl.fails++
 	if hl.fails >= b.cfg.QuarantineThreshold {
+		if !b.sim.Now().Before(hl.quarantinedUntil) {
+			b.cfg.Trace.Emit(trace.Event{Kind: trace.Quarantined, Site: name, N: hl.fails})
+		}
 		hl.quarantinedUntil = b.sim.Now().Add(b.cfg.QuarantineCooldown)
 	}
 }
@@ -577,6 +613,9 @@ func (b *Broker) noteSiteFailure(name string) {
 // noteSiteSuccess resets a site's circuit breaker.
 func (b *Broker) noteSiteSuccess(name string) {
 	if hl := b.health[name]; hl != nil {
+		if !hl.quarantinedUntil.IsZero() {
+			b.cfg.Trace.Emit(trace.Event{Kind: trace.Unquarantined, Site: name})
+		}
 		hl.fails = 0
 		hl.quarantinedUntil = time.Time{}
 	}
@@ -595,6 +634,9 @@ func (b *Broker) quarantineNow(name string) {
 	}
 	if hl.fails < b.cfg.QuarantineThreshold {
 		hl.fails = b.cfg.QuarantineThreshold
+	}
+	if !b.sim.Now().Before(hl.quarantinedUntil) {
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.Quarantined, Site: name, N: hl.fails})
 	}
 	hl.quarantinedUntil = b.sim.Now().Add(b.cfg.QuarantineCooldown)
 }
@@ -622,6 +664,11 @@ func (b *Broker) QuarantinedSites() []string {
 // died or was unregistered), so its reserved capacity stops shadowing
 // the rest of the grid.
 func (b *Broker) releaseSiteLeases(name string) {
+	if q := b.leases[name]; q != nil && q.prune(b.sim.Now()) > 0 {
+		// The trace checker "forgives" leases dropped here: the owning
+		// jobs' deferred releases still fire and must balance.
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.LeaseDropped, Site: name, N: q.count})
+	}
 	delete(b.leases, name)
 }
 

@@ -8,6 +8,7 @@ import (
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 )
 
 // candidate is one matched site with fresh state.
@@ -294,21 +295,26 @@ func (b *Broker) activeLeases(name string) int {
 }
 
 // lease reserves n CPUs on a site for the exclusive-temporal-access
-// window.
-func (b *Broker) lease(name string, n int) {
+// window on behalf of h's current attempt.
+func (b *Broker) lease(h *Handle, name string, n int) {
 	q := b.leases[name]
 	if q == nil {
 		q = &leaseQueue{}
 		b.leases[name] = q
 	}
 	q.push(b.sim.Now().Add(b.cfg.LeaseDuration), n)
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.LeaseAcquired, Job: h.ID, Site: name, N: n})
 }
 
-// unlease releases n leases on a site (the job started or failed).
-func (b *Broker) unlease(name string, n int) {
+// unlease releases n of h's leases on a site (the job started or
+// failed). Deferred unleases may run after the job's terminal event
+// and after a site death dropped the whole queue; the trace checker
+// accounts for both.
+func (b *Broker) unlease(h *Handle, name string, n int) {
 	if q := b.leases[name]; q != nil {
 		q.drop(n)
 	}
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.LeaseReleased, Job: h.ID, Site: name, N: n})
 }
 
 // admissionOK applies the fair-share rejection rule when resources are

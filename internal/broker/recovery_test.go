@@ -88,8 +88,8 @@ func TestCrashMidSubmissionNoDoubleAllocation(t *testing.T) {
 // expiry.
 func TestSiteDeathReleasesLeases(t *testing.T) {
 	g := newGrid(t, 2, 4, Config{LeaseDuration: time.Hour})
-	g.b.lease("site00", 3)
-	g.b.lease("site01", 1)
+	g.b.lease(&Handle{ID: "t1"}, "site00", 3)
+	g.b.lease(&Handle{ID: "t2"}, "site01", 1)
 	if n := g.b.LeasedCPUs(); n != 4 {
 		t.Fatalf("LeasedCPUs = %d, want 4", n)
 	}
@@ -106,7 +106,7 @@ func TestSiteDeathReleasesLeases(t *testing.T) {
 // infosys flavor of the stale-lease leak.
 func TestUnregisterSiteReleasesLeases(t *testing.T) {
 	g := newGrid(t, 2, 4, Config{LeaseDuration: time.Hour})
-	g.b.lease("site00", 2)
+	g.b.lease(&Handle{ID: "t1"}, "site00", 2)
 	g.b.UnregisterSite("site00")
 	if n := g.b.LeasedCPUs(); n != 0 {
 		t.Fatalf("LeasedCPUs after unregister = %d, want 0", n)

@@ -11,6 +11,7 @@ import (
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 	"crossbroker/internal/vmslot"
 )
 
@@ -150,7 +151,8 @@ func (b *Broker) runBatch(h *Handle) {
 	}
 
 	st := chosen.site
-	b.lease(st.Name(), job.NodeNumber)
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Matched, Job: h.ID, Site: st.Name(), Rank: chosen.rank, Attempt: h.resub})
+	b.lease(h, st.Name(), job.NodeNumber)
 	h.state = Submitted
 	h.site = st.Name()
 	subStart := b.sim.Now()
@@ -165,9 +167,10 @@ func (b *Broker) runBatch(h *Handle) {
 
 	payload := &glidein.BatchPayload{ID: h.ID, Owner: h.request.User, Work: h.request.CPU}
 	agent, bh, err := glidein.LaunchWithOptions(b.sim, st, payload, 0,
-		glidein.Options{Degree: b.cfg.AgentDegree})
+		glidein.Options{Degree: b.cfg.AgentDegree, Trace: b.cfg.Trace,
+			TraceJob: h.ID, TraceAttempt: h.resub})
 	if err != nil {
-		b.unlease(st.Name(), 1)
+		b.unlease(h, st.Name(), 1)
 		if retryableSubmitErr(err) {
 			// The gatekeeper died under the submission (possibly
 			// between phase-1 accept and phase-2 commit — the abort
@@ -175,7 +178,7 @@ func (b *Broker) runBatch(h *Handle) {
 			// elsewhere after the backoff.
 			b.noteSiteFailure(st.Name())
 			h.lastErr = err
-			h.resub++
+			b.noteResub(h, st.Name(), "agent launch failed")
 			h.state = Pending
 			b.scheduleRetry(h)
 			return
@@ -187,9 +190,10 @@ func (b *Broker) runBatch(h *Handle) {
 	b.wireAgent(agent, st)
 
 	bh.Started.OnFire(func() {
-		b.unlease(st.Name(), 1)
+		b.unlease(h, st.Name(), 1)
 		b.account(h, 1)
 		h.state = Running
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.Started, Job: h.ID, Site: st.Name(), Attempt: h.resub})
 		// First output of the payload: startup then transfer.
 		b.sim.Go(func() {
 			b.sim.Sleep(st.Costs().JobStartup + st.Network().TransferTime(defaultFirstOutputBytes))
@@ -214,7 +218,7 @@ func (b *Broker) runBatch(h *Handle) {
 		return
 	}
 	if !bh.Started.Fired() {
-		b.unlease(st.Name(), 1) // reservation for a job that never ran
+		b.unlease(h, st.Name(), 1) // reservation for a job that never ran
 	}
 	if h.abort.Fired() {
 		st.Queue().Kill(bh.ID())
@@ -225,7 +229,7 @@ func (b *Broker) runBatch(h *Handle) {
 	// Evicted or lost.
 	b.release(h)
 	h.lastErr = fmt.Errorf("%w: payload on %s unfinished", ErrAgentLost, st.Name())
-	h.resub++
+	b.noteResub(h, st.Name(), "agent lost")
 	h.state = Pending
 	b.scheduleRetry(h)
 	b.kickDispatch()
@@ -292,6 +296,7 @@ func (b *Broker) runInteractiveExclusive(h *Handle) {
 			break
 		}
 		anyFree = true
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.Matched, Job: h.ID, Site: chosen.site.Name(), Rank: chosen.rank, Attempt: h.resub})
 		if b.runExclusiveAttempt(h, chosen.site) {
 			return
 		}
@@ -314,8 +319,8 @@ func (b *Broker) runInteractiveExclusive(h *Handle) {
 // sends the caller to the next candidate.
 func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 	job := h.request.Job
-	b.lease(st.Name(), job.NodeNumber)
-	defer b.unlease(st.Name(), job.NodeNumber)
+	b.lease(h, st.Name(), job.NodeNumber)
+	defer b.unlease(h, st.Name(), job.NodeNumber)
 	h.state = Submitted
 
 	bodyDone := b.sim.NewTrigger()
@@ -327,11 +332,11 @@ func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 		Priority: 10, // interactive jobs ahead of local batch work
 		Run:      b.exclusiveBody(h, st, bodyDone, killed),
 	}
-	bh, err := st.Submit(req, site.SubmitOptions{})
+	bh, err := st.Submit(req, site.SubmitOptions{TraceJob: h.ID, TraceAttempt: h.resub})
 	if err != nil {
 		b.noteSiteFailure(st.Name())
 		h.lastErr = err
-		h.resub++
+		b.noteResub(h, st.Name(), "submit failed")
 		return false
 	}
 	b.noteSiteSuccess(st.Name())
@@ -340,11 +345,12 @@ func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 	// execution, it will be resubmitted to any other resource."
 	if !b.waitTrigger(bh.Started, b.cfg.QueueTimeout) {
 		st.Queue().Kill(bh.ID())
-		h.resub++
+		b.noteResub(h, st.Name(), "queue timeout")
 		return false
 	}
 	h.state = Running
 	h.site = st.Name()
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Started, Job: h.ID, Site: st.Name(), Attempt: h.resub})
 	b.account(h, job.NodeNumber)
 
 	w := b.sim.NewTrigger()
@@ -366,7 +372,7 @@ func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 		// quarantined the site; move on to another candidate.
 		b.release(h)
 		h.lastErr = fmt.Errorf("%w: %s died running %s", ErrSiteLost, st.Name(), h.ID)
-		h.resub++
+		b.noteResub(h, st.Name(), "site lost")
 		return false
 	default:
 		b.release(h)
@@ -388,13 +394,13 @@ func (b *Broker) runExclusiveOn(h *Handle, st *site.Site) {
 		Nodes: job.NodeNumber,
 		Run:   b.exclusiveBody(h, st, bodyDone, killed),
 	}
-	bh, err := st.Submit(req, site.SubmitOptions{})
-	b.unlease(st.Name(), job.NodeNumber)
+	bh, err := st.Submit(req, site.SubmitOptions{TraceJob: h.ID, TraceAttempt: h.resub})
+	b.unlease(h, st.Name(), job.NodeNumber)
 	if err != nil {
 		if retryableSubmitErr(err) {
 			b.noteSiteFailure(st.Name())
 			h.lastErr = err
-			h.resub++
+			b.noteResub(h, st.Name(), "submit failed")
 			h.state = Pending
 			b.scheduleRetry(h)
 			return
@@ -405,6 +411,7 @@ func (b *Broker) runExclusiveOn(h *Handle, st *site.Site) {
 	b.noteSiteSuccess(st.Name())
 	bh.Started.OnFire(func() {
 		h.state = Running
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.Started, Job: h.ID, Site: st.Name(), Attempt: h.resub})
 		b.account(h, job.NodeNumber)
 	})
 	h.site = st.Name()
@@ -427,7 +434,7 @@ func (b *Broker) runExclusiveOn(h *Handle, st *site.Site) {
 	case killed.Fired(), !bodyDone.Fired():
 		b.release(h)
 		h.lastErr = fmt.Errorf("%w: %s died running %s", ErrSiteLost, st.Name(), h.ID)
-		h.resub++
+		b.noteResub(h, st.Name(), "site lost")
 		h.state = Pending
 		b.scheduleRetry(h)
 	default:
@@ -510,8 +517,10 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 			cands := b.selection(h, snap, nil)
 			for i := range cands {
 				for len(chosen) < need && cands[i].free > 0 {
+					// No TraceJob: the agent's 2PC is labeled by its own
+					// queue ID — several launches may serve one attempt.
 					agent, bh, err := glidein.LaunchWithOptions(b.sim, cands[i].site, nil, 10,
-						glidein.Options{Degree: b.cfg.AgentDegree})
+						glidein.Options{Degree: b.cfg.AgentDegree, Trace: b.cfg.Trace})
 					if err != nil {
 						if retryableSubmitErr(err) {
 							b.noteSiteFailure(cands[i].site.Name())
@@ -596,6 +605,7 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) bool {
 		h.site = "agents"
 	}
 	h.shared = true
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Matched, Job: h.ID, Site: h.site, N: len(agents), Attempt: h.resub})
 
 	// The broker still stages input files to the VM, dispatches the
 	// job over its direct agent channel, and the agent sets it up on
@@ -635,6 +645,7 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) bool {
 
 	allPlaced.Wait()
 	h.state = Running
+	b.cfg.Trace.Emit(trace.Event{Kind: trace.Started, Job: h.ID, Site: h.site, Attempt: h.resub})
 	b.account(h, len(agents))
 
 	// Heartbeat monitoring: a hosting agent's death is noticed one
@@ -674,10 +685,13 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) bool {
 		return true
 	case lost.Fired():
 		// Agent lost: release the accounting, report the kill, let
-		// the caller resubmit on the surviving registry.
+		// the caller resubmit on the surviving registry. The
+		// HeartbeatLost event is emitted here, not in the heartbeat
+		// callback, so it cannot land after the job's terminal event.
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.HeartbeatLost, Job: h.ID, Site: h.site, Attempt: h.resub})
 		b.release(h)
 		h.lastErr = fmt.Errorf("%w while running %s", ErrAgentLost, h.ID)
-		h.resub++
+		b.noteResub(h, h.site, "agent lost")
 		return false
 	default:
 		for _, t := range doneTs {

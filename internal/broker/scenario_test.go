@@ -153,7 +153,7 @@ func TestLeaseExpiryFreesCapacity(t *testing.T) {
 		Network: netsim.CampusGrid(), Costs: site.DefaultCosts(), LRMCycle: time.Second})
 	b.RegisterSite(st)
 
-	b.lease("s", 1)
+	b.lease(&Handle{ID: "t1"}, "s", 1)
 	if b.activeLeases("s") != 1 {
 		t.Fatal("lease not recorded")
 	}

@@ -161,7 +161,7 @@ func (a *Agent) linkFailed(err error) {
 	a.mu.Lock()
 	a.linkErr = err
 	a.mu.Unlock()
-	a.proc.Kill()
+	_ = a.proc.Kill()
 }
 
 // run waits for application exit, drains buffered output, and closes

@@ -40,6 +40,10 @@ type LinkConfig struct {
 	// reliable spill write (era calibration for experiments; zero in
 	// production).
 	DiskCost time.Duration
+	// OnDown, when set, is called (on its own goroutine — the link's
+	// lock is held at the detection point) each time a live connection
+	// is lost. Permanent give-up is reported through onFail instead.
+	OnDown func()
 }
 
 func (c *LinkConfig) setDefaults() {
@@ -345,6 +349,9 @@ func (l *Link) markDeadLocked(conn net.Conn) {
 	}
 	l.conn.Close()
 	l.conn = nil
+	if l.cfg.OnDown != nil {
+		go l.cfg.OnDown()
+	}
 	l.startRetryLocked()
 	l.startWatchdogLocked()
 }
@@ -390,7 +397,9 @@ func (l *Link) readLoop(conn net.Conn) {
 			l.handleData(conn, m)
 		case MsgAck:
 			if l.spill != nil {
-				l.spill.Ack(m.Seq)
+				// Best effort: a failed truncate only delays spill-file
+				// reclamation until the next ack.
+				_ = l.spill.Ack(m.Seq)
 			}
 		case MsgHello:
 			// Duplicate hello on an established connection: ignore.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"crossbroker/internal/jdl"
+	"crossbroker/internal/trace"
 )
 
 // ShadowConfig configures a Console Shadow.
@@ -57,6 +58,15 @@ type ShadowConfig struct {
 	// subjob's streams so Done can still fire. Nil disables reporting
 	// (the session then simply never completes).
 	OnLinkFail func(subjob uint16, err error)
+	// Trace records console lifecycle events — first agent attach,
+	// transient link losses and reconnections, permanent give-up —
+	// labeled with TraceJob (nil disables). The shadow runs in real
+	// time, so these events are NOT deterministic across runs; keep
+	// console sessions on their own tracer when byte-stable exports
+	// matter.
+	Trace *trace.Tracer
+	// TraceJob is the job ID stamped on the shadow's trace events.
+	TraceJob string
 }
 
 // Shadow is the Console Shadow / Job Shadow (CS/JS) of Section 4,
@@ -71,6 +81,7 @@ type Shadow struct {
 	mu        sync.Mutex
 	links     map[uint16]*Link
 	eofs      map[uint16]map[Stream]bool
+	attaches  map[uint16]int // per-subjob connection count (tracing)
 	doneOnce  sync.Once
 	done      chan struct{}
 	closed    bool
@@ -89,19 +100,20 @@ func StartShadow(cfg ShadowConfig) (*Shadow, error) {
 		return nil, fmt.Errorf("console: shadow needs an Accept function")
 	}
 	s := &Shadow{
-		cfg:   cfg,
-		links: make(map[uint16]*Link),
-		eofs:  make(map[uint16]map[Stream]bool),
-		done:  make(chan struct{}),
+		cfg:      cfg,
+		links:    make(map[uint16]*Link),
+		eofs:     make(map[uint16]map[Stream]bool),
+		attaches: make(map[uint16]int),
+		done:     make(chan struct{}),
 	}
 	s.outBuf = newFlushBuffer(cfg.BufferSize, cfg.FlushInterval, func(b []byte) {
 		if cfg.Stdout != nil {
-			cfg.Stdout.Write(b)
+			_, _ = cfg.Stdout.Write(b)
 		}
 	})
 	s.errBuf = newFlushBuffer(cfg.BufferSize, cfg.FlushInterval, func(b []byte) {
 		if cfg.Stderr != nil {
-			cfg.Stderr.Write(b)
+			_, _ = cfg.Stderr.Write(b)
 		}
 	})
 
@@ -118,6 +130,11 @@ func StartShadow(cfg ShadowConfig) (*Shadow, error) {
 			MaxRetries:    cfg.MaxRetries,
 			DiskCost:      cfg.DiskCost,
 			SpillPath:     filepath.Join(spillDir, fmt.Sprintf("cs-spill-%d-%d.log", os.Getpid(), sub)),
+		}
+		if cfg.Trace.Enabled() {
+			lcfg.OnDown = func() {
+				cfg.Trace.Emit(trace.Event{Kind: trace.LinkDown, Job: cfg.TraceJob, N: int(sub), Detail: "connection lost"})
+			}
 		}
 		link, err := NewAcceptLink(lcfg, s.receiverFor(sub), s.failerFor(sub))
 		if err != nil {
@@ -165,6 +182,7 @@ func (s *Shadow) receiverFor(sub uint16) Receiver {
 // session.
 func (s *Shadow) failerFor(sub uint16) func(error) {
 	return func(err error) {
+		s.cfg.Trace.Emit(trace.Event{Kind: trace.LinkDown, Job: s.cfg.TraceJob, N: int(sub), Detail: "gave up"})
 		s.mu.Lock()
 		if s.linkErr == nil {
 			s.linkErr = fmt.Errorf("subjob %d: %w", sub, err)
@@ -250,7 +268,19 @@ func (s *Shadow) admit(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	link.Attach(conn, hello)
+	if err := link.Attach(conn, hello); err != nil {
+		return
+	}
+	if s.cfg.Trace.Enabled() {
+		s.mu.Lock()
+		s.attaches[hello.Subjob]++
+		kind := trace.ConsoleAttached
+		if s.attaches[hello.Subjob] > 1 {
+			kind = trace.LinkResumed
+		}
+		s.mu.Unlock()
+		s.cfg.Trace.Emit(trace.Event{Kind: kind, Job: s.cfg.TraceJob, N: int(hello.Subjob)})
+	}
 }
 
 // stdinLoop forwards user input line by line to every subjob; "the

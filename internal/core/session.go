@@ -12,6 +12,7 @@ import (
 	"crossbroker/internal/interpose"
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/netsim"
+	"crossbroker/internal/trace"
 )
 
 // SessionConfig configures a real-time interactive session.
@@ -48,6 +49,11 @@ type SessionConfig struct {
 	// permanently (retry budget exhausted, process killed); wire it to
 	// the broker's Abort to drive the job terminal.
 	OnLinkFail func(subjob uint16, err error)
+	// Trace records the session's console events (attach, link
+	// down/resume, give-up) labeled with TraceJob; nil disables.
+	Trace *trace.Tracer
+	// TraceJob is the broker job ID stamped on the session's events.
+	TraceJob string
 }
 
 // Session is a running interactive session: one Console Shadow plus
@@ -123,6 +129,8 @@ func StartAuxSession(cfg SessionConfig, naux int, apps []interpose.AuxAppFunc) (
 		Stdin:         cfg.Stdin,
 		AuxSink:       cfg.AuxSink,
 		OnLinkFail:    cfg.OnLinkFail,
+		Trace:         cfg.Trace,
+		TraceJob:      cfg.TraceJob,
 		SpillDir:      cfg.SpillDir,
 		FlushInterval: cfg.FlushInterval,
 		RetryInterval: cfg.RetryInterval,
@@ -150,7 +158,7 @@ func StartAuxSession(cfg SessionConfig, naux int, apps []interpose.AuxAppFunc) (
 			MaxRetries:    cfg.MaxRetries,
 		}, proc)
 		if err != nil {
-			proc.Kill()
+			_ = proc.Kill()
 			s.Close()
 			return nil, err
 		}
@@ -251,7 +259,7 @@ func (s *Session) Wait(timeout time.Duration) error {
 // Close tears the session down.
 func (s *Session) Close() {
 	for _, a := range s.Agents {
-		a.Kill()
+		_ = a.Kill()
 	}
 	if s.Shadow != nil {
 		s.Shadow.Close()

@@ -13,6 +13,7 @@ import (
 	"crossbroker/internal/netsim"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 )
 
 // ChaosSweep measures the broker's failure recovery under the
@@ -52,6 +53,11 @@ type ChaosPoint struct {
 	LeakedLeases int `json:"leaked_leases"`
 	// Injected counts the fault events actually applied.
 	Injected int `json:"injected"`
+	// Trace is the cell's full event log when ChaosConfig.Traced is
+	// set, labeled "rate=<crash rate>". Excluded from JSON so
+	// BENCH_chaos.json stays a compact summary; export it with
+	// trace.WriteJSONL instead.
+	Trace trace.Trace `json:"-"`
 }
 
 // ChaosConfig parametrizes the sweep.
@@ -75,6 +81,12 @@ type ChaosConfig struct {
 	Workers int
 	// Quick shrinks the sweep for CI smoke runs.
 	Quick bool
+	// Traced records every cell's event log (job lifecycle, 2PC,
+	// leases, quarantine, injected faults) on the simulation clock and
+	// attaches it to the cell's ChaosPoint. Each cell has its own
+	// tracer and its own virtual clock, so the logs stay byte-stable
+	// for a fixed seed even with concurrent workers.
+	Traced bool
 }
 
 func (c *ChaosConfig) setDefaults() {
@@ -122,10 +134,15 @@ func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
 	p := ChaosPoint{CrashRate: rate}
 	sim := simclock.NewSim(time.Time{})
 	info := infosys.New(sim, 250*time.Millisecond)
+	var tr *trace.Tracer
+	if cfg.Traced {
+		tr = trace.New(sim.Now)
+	}
 	b := broker.New(broker.Config{
-		Sim:  sim,
-		Info: info,
-		Seed: cfg.Seed + idx,
+		Sim:   sim,
+		Info:  info,
+		Trace: tr,
+		Seed:  cfg.Seed + idx,
 		// Recovery knobs: bounded resubmission with capped exponential
 		// backoff, circuit-breaker quarantine, heartbeat monitoring.
 		MaxResubmits:        10,
@@ -153,6 +170,7 @@ func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
 	// kinds are scaled off the same rate so every recovery path is
 	// exercised together.
 	inj := faultinject.New(sim, cfg.Seed+idx)
+	inj.SetTracer(tr)
 	for _, st := range sites {
 		inj.AddSite(st)
 	}
@@ -255,6 +273,7 @@ func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
 		p.P99RecoverySec = recovery.Summarize().P99
 	}
 	p.LeakedLeases = b.LeasedCPUs()
+	p.Trace = tr.Snapshot(fmt.Sprintf("rate=%g", rate))
 	for _, line := range inj.Applied() {
 		if strings.HasSuffix(line, " injected") {
 			p.Injected++

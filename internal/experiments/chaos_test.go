@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"crossbroker/internal/trace"
 )
 
 // TestChaosSweepDeterministic is the fault layer's acceptance check:
@@ -28,6 +30,75 @@ func TestChaosSweepDeterministic(t *testing.T) {
 	}
 	if !bytes.Equal(aj, bj) {
 		t.Fatalf("same seed produced different sweeps:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestChaosTracedSweepDeterministicJSONL is the tracer's acceptance
+// check: two traced sweeps with the same seed must export
+// byte-identical JSONL event logs.
+func TestChaosTracedSweepDeterministicJSONL(t *testing.T) {
+	cfg := ChaosConfig{Seed: 11, Quick: true, Traced: true}
+	export := func() []byte {
+		pts, err := ChaosSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces := make([]trace.Trace, len(pts))
+		for i, p := range pts {
+			traces[i] = p.Trace
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteJSONL(&buf, traces); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := export(), export()
+	if len(a) == 0 {
+		t.Fatal("traced sweep exported no events")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different JSONL exports")
+	}
+}
+
+// TestChaosTraceInvariants runs the checker over real sweep logs —
+// clean as produced, and failing once hand-corrupted.
+func TestChaosTraceInvariants(t *testing.T) {
+	pts, err := ChaosSweep(ChaosConfig{Seed: 2006, Quick: true, Traced: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if v := trace.CheckComplete(p.Trace.Events); len(v) != 0 {
+			t.Errorf("%s: %d violations, first: %s", p.Trace.Label, len(v), v[0])
+		}
+	}
+
+	// Corruption 1: replay a lifecycle event for a job that already
+	// reached its terminal state.
+	events := append([]trace.Event(nil), pts[1].Trace.Events...)
+	var victim string
+	for _, e := range events {
+		if e.Kind.Terminal() && e.Job != "" {
+			victim = e.Job
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no terminal job in the chaotic cell")
+	}
+	last := events[len(events)-1].Seq
+	bad := append(events, trace.Event{Seq: last + 1, Kind: trace.Started, Job: victim})
+	if v := trace.Check(bad); len(v) == 0 {
+		t.Error("checker accepted a post-terminal lifecycle event")
+	}
+
+	// Corruption 2: an acquire with no matching release dangles.
+	bad = append(events, trace.Event{Seq: last + 1, Kind: trace.LeaseAcquired,
+		Job: "ghost", Site: "s00", N: 1})
+	if v := trace.Check(bad); len(v) == 0 {
+		t.Error("checker accepted a dangling lease")
 	}
 }
 

@@ -317,7 +317,7 @@ func newConsoleChannel(nw *netsim.Net, mode jdl.StreamingMode, spillDir string, 
 		MaxRetries:    100,
 	}, proc)
 	if err != nil {
-		proc.Kill()
+		_ = proc.Kill()
 		shadow.Close()
 		lis.Close()
 		return nil, err
@@ -328,7 +328,7 @@ func newConsoleChannel(nw *netsim.Net, mode jdl.StreamingMode, spillDir string, 
 	deadline := time.Now().Add(10 * time.Second)
 	for shadow.Connected() == 0 {
 		if time.Now().After(deadline) {
-			agent.Kill()
+			_ = agent.Kill()
 			shadow.Close()
 			lis.Close()
 			return nil, fmt.Errorf("experiments: console agent did not connect")
@@ -346,7 +346,7 @@ func (c *consoleChannel) Read(p []byte) (int, error) { return c.outR.Read(p) }
 
 func (c *consoleChannel) close() {
 	c.stdinW.Close()
-	c.agent.Kill()
+	_ = c.agent.Kill()
 	c.shadow.Close()
 	c.lis.Close()
 	c.outR.Close()

@@ -28,6 +28,7 @@ import (
 
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 )
 
 // Kind enumerates the injectable fault classes.
@@ -243,6 +244,7 @@ type Injector struct {
 	part   Partitioner
 	agents AgentKiller
 	nets   []NetLink
+	tracer *trace.Tracer
 
 	applied []string
 	started bool
@@ -274,6 +276,11 @@ func (in *Injector) SetInfosys(p Partitioner) { in.part = p }
 
 // SetAgentKiller registers the glide-in death hook.
 func (in *Injector) SetAgentKiller(k AgentKiller) { in.agents = k }
+
+// SetTracer wires the event tracer: every processed fault — applied or
+// skipped — is emitted as a FaultInjected event, so job timelines can
+// cross-reference the fault that hit their site (nil disables).
+func (in *Injector) SetTracer(t *trace.Tracer) { in.tracer = t }
 
 // AddNet registers a real-time network link to cut during NetOutage
 // windows (virtual-time grids don't need this; the site's
@@ -366,6 +373,8 @@ func (in *Injector) apply(e Event) {
 func (in *Injector) log(e Event, status string) {
 	in.applied = append(in.applied,
 		fmt.Sprintf("%v %s %s %v %s", e.At, e.Kind, e.Site, e.Duration, status))
+	in.tracer.Emit(trace.Event{Kind: trace.FaultInjected, Site: e.Site,
+		Dur: e.Duration, Detail: e.Kind.String() + " " + status})
 }
 
 // Applied returns one log line per processed event, in injection

@@ -33,6 +33,7 @@ import (
 	"crossbroker/internal/batch"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 	"crossbroker/internal/vmslot"
 )
 
@@ -52,6 +53,13 @@ type Options struct {
 	// Degree is the maximum number of concurrent interactive VMs
 	// (default 1 — the paper's deployed two-VM configuration).
 	Degree int
+	// Trace records the agent's lifecycle events (nil disables).
+	Trace *trace.Tracer
+	// TraceJob and TraceAttempt label the launch's gatekeeper
+	// submission (its two-phase-commit trace events) with the broker
+	// job it serves; empty TraceJob falls back to the LRM handle ID.
+	TraceJob     string
+	TraceAttempt int
 }
 
 // BatchPayload is the user batch job the agent hosts on its batch-vm.
@@ -86,9 +94,10 @@ type InteractiveJob struct {
 
 // Agent is a live glide-in on one worker node.
 type Agent struct {
-	id   string
-	sim  *simclock.Sim
-	opts Options
+	id       string
+	sim      *simclock.Sim
+	opts     Options
+	siteName string
 
 	node    *batch.Node
 	batchVM *vmslot.Slot
@@ -135,6 +144,7 @@ func LaunchWithOptions(sim *simclock.Sim, st *site.Site, payload *BatchPayload, 
 		id:         fmt.Sprintf("agent-%s", st.Name()),
 		sim:        sim,
 		opts:       opts,
+		siteName:   st.Name(),
 		activePL:   make(map[string]int),
 		released:   sim.NewTrigger(),
 		batchDoneT: sim.NewTrigger(),
@@ -153,7 +163,8 @@ func LaunchWithOptions(sim *simclock.Sim, st *site.Site, payload *BatchPayload, 
 		Priority: priority,
 		Run:      a.body(payload, st.Costs().JobStartup),
 	}
-	h, err := st.Submit(req, site.SubmitOptions{WithAgent: true})
+	h, err := st.Submit(req, site.SubmitOptions{
+		WithAgent: true, TraceJob: opts.TraceJob, TraceAttempt: opts.TraceAttempt})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -202,6 +213,7 @@ func (a *Agent) body(payload *BatchPayload, startup time.Duration) func(*batch.E
 		if ctx.Killed.Fired() && !a.released.Fired() {
 			// Evicted: fire released so waiters (and the broker's
 			// resubmission logic) observe the death.
+			a.opts.Trace.Emit(trace.Event{Kind: trace.AgentDied, Site: a.siteName, Detail: a.id + " evicted"})
 			a.released.Fire()
 		}
 		a.batchVM.Close()
@@ -264,6 +276,7 @@ func (a *Agent) Released() *simclock.Trigger { return a.released }
 // a no-op for agents that already left.
 func (a *Agent) Die() {
 	if !a.released.Fired() {
+		a.opts.Trace.Emit(trace.Event{Kind: trace.AgentDied, Site: a.siteName, Detail: a.id + " killed"})
 		a.released.Fire()
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"crossbroker/internal/infosys"
 	"crossbroker/internal/netsim"
 	"crossbroker/internal/simclock"
+	"crossbroker/internal/trace"
 	"crossbroker/internal/vmslot"
 )
 
@@ -107,9 +108,10 @@ type Config struct {
 
 // Site is one grid site.
 type Site struct {
-	sim   *simclock.Sim
-	cfg   Config
-	queue *batch.Queue
+	sim    *simclock.Sim
+	cfg    Config
+	queue  *batch.Queue
+	tracer *trace.Tracer
 
 	// Failure-model state (driven by internal/faultinject or tests).
 	down         bool // crashed: gatekeeper and worker pool dead
@@ -145,6 +147,10 @@ func New(sim *simclock.Sim, cfg Config) *Site {
 // Name returns the site name.
 func (s *Site) Name() string { return s.cfg.Name }
 
+// SetTracer wires the event tracer (nil disables tracing). The broker
+// sets it at registration.
+func (s *Site) SetTracer(t *trace.Tracer) { s.tracer = t }
+
 // Queue exposes the local resource manager.
 func (s *Site) Queue() *batch.Queue { return s.queue }
 
@@ -167,6 +173,7 @@ func (s *Site) Crash() {
 		return
 	}
 	s.down = true
+	s.tracer.Emit(trace.Event{Kind: trace.SiteCrashed, Site: s.cfg.Name})
 	s.queue.CrashAll()
 	for _, fn := range s.deathHooks {
 		fn()
@@ -175,7 +182,13 @@ func (s *Site) Crash() {
 
 // Restart brings a crashed site back up with an empty queue and free
 // nodes; it resumes publishing on the next tick.
-func (s *Site) Restart() { s.down = false }
+func (s *Site) Restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.tracer.Emit(trace.Event{Kind: trace.SiteRestarted, Site: s.cfg.Name})
+}
 
 // Down reports whether the site is crashed.
 func (s *Site) Down() bool { return s.down }
@@ -258,6 +271,13 @@ type SubmitOptions struct {
 	// SkipStage omits the broker's staging/two-phase-commit cost (used
 	// by baselines such as Glogin that do no input staging).
 	SkipStage bool
+	// TraceJob labels this submission's two-phase-commit trace events
+	// with the broker job they serve; empty falls back to the LRM
+	// handle ID assigned at phase-1 accept.
+	TraceJob string
+	// TraceAttempt is the broker job's resubmission index, making the
+	// (job, attempt) pair unique per Submit call.
+	TraceAttempt int
 }
 
 // Submit pushes a job through the gatekeeper into the local queue:
@@ -306,6 +326,11 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 	if err != nil {
 		return nil, err
 	}
+	tj := opts.TraceJob
+	if tj == "" {
+		tj = h.ID()
+	}
+	s.tracer.Emit(trace.Event{Kind: trace.CommitSent, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 	s.sim.Sleep(s.cfg.Network.RTT()) // commit acknowledgment
 	if !s.Available() {
 		// Phase 2 never completed: abort. A crash already dropped the
@@ -315,7 +340,9 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 		if req.ID == "" {
 			s.queue.Kill(h.ID())
 		}
+		s.tracer.Emit(trace.Event{Kind: trace.CommitAborted, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 		return nil, fmt.Errorf("%w: %s died before commit", ErrCommitAborted, s.cfg.Name)
 	}
+	s.tracer.Emit(trace.Event{Kind: trace.Committed, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 	return h, nil
 }

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation is one invariant breach found by Check.
+type Violation struct {
+	// Seq is the offending event's sequence number (the last event of
+	// the trace for end-of-trace violations).
+	Seq uint64
+	// Job is the affected job ("" for site-scoped breaches).
+	Job string
+	// Msg describes the breach.
+	Msg string
+}
+
+// String formats the violation.
+func (v Violation) String() string {
+	if v.Job == "" {
+		return fmt.Sprintf("seq %d: %s", v.Seq, v.Msg)
+	}
+	return fmt.Sprintf("seq %d job %s: %s", v.Seq, v.Job, v.Msg)
+}
+
+// leaseKey identifies one job's holdings on one site.
+type leaseKey struct{ job, site string }
+
+// attemptKey identifies one submission attempt of one job.
+type attemptKey struct {
+	job     string
+	attempt int
+}
+
+// Check verifies the structural invariants of an event log and returns
+// every breach found (nil when the trace is clean):
+//
+//  1. Lease balance — per (job, site), CPUs released never exceed CPUs
+//     acquired, unless a LeaseDropped on the site forgave the holding
+//     (site death: the broker's deferred release then finds nothing to
+//     undo). At end of trace no unforgiven holding remains (the leaked
+//     -lease invariant, now checkable from the log alone).
+//  2. Terminal finality — after a job's first terminal event (Done,
+//     Failed, Aborted) no further lifecycle event mentions the job.
+//     Lease bookkeeping is exempt: the broker's deferred releases run
+//     after the failure handler by design.
+//  3. Resubmit monotonicity — a job's Resubmitted attempt indices are
+//     strictly increasing.
+//  4. Two-phase commit — per (job, attempt): at most one CommitSent;
+//     Committed or CommitAborted only after CommitSent; never both,
+//     and in particular Committed never follows CommitAborted.
+func Check(events []Event) []Violation {
+	var out []Violation
+	violate := func(seq uint64, job, format string, args ...any) {
+		out = append(out, Violation{Seq: seq, Job: job, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	held := make(map[leaseKey]int)     // live CPUs per (job, site)
+	forgiven := make(map[leaseKey]int) // dropped by site death, release still expected
+	terminal := make(map[string]Kind)  // job -> terminal kind seen
+	lastResub := make(map[string]int)  // job -> last attempt index
+	commits := make(map[attemptKey]Kind)
+
+	for _, e := range events {
+		if e.Job != "" && e.Kind.Lifecycle() {
+			if k, dead := terminal[e.Job]; dead {
+				violate(e.Seq, e.Job, "%s after terminal %s", e.Kind, k)
+			}
+		}
+		switch e.Kind {
+		case LeaseAcquired:
+			if e.N <= 0 {
+				violate(e.Seq, e.Job, "lease-acquired with n=%d", e.N)
+				continue
+			}
+			held[leaseKey{e.Job, e.Site}] += e.N
+		case LeaseReleased:
+			k := leaseKey{e.Job, e.Site}
+			n := e.N
+			if n <= 0 {
+				violate(e.Seq, e.Job, "lease-released with n=%d", n)
+				continue
+			}
+			if held[k] >= n {
+				held[k] -= n
+				continue
+			}
+			// Partially (or wholly) covered by a site-death drop.
+			n -= held[k]
+			held[k] = 0
+			if forgiven[k] >= n {
+				forgiven[k] -= n
+				continue
+			}
+			violate(e.Seq, e.Job, "released %d lease(s) on %s never acquired", n-forgiven[k], e.Site)
+			forgiven[k] = 0
+		case LeaseDropped:
+			for k, n := range held {
+				if k.site == e.Site && n > 0 {
+					forgiven[k] += n
+					held[k] = 0
+				}
+			}
+		case Resubmitted:
+			if last, ok := lastResub[e.Job]; ok && e.Attempt <= last {
+				violate(e.Seq, e.Job, "resubmit attempt %d not after %d", e.Attempt, last)
+			}
+			lastResub[e.Job] = e.Attempt
+		case CommitSent:
+			k := attemptKey{e.Job, e.Attempt}
+			if prev, ok := commits[k]; ok {
+				violate(e.Seq, e.Job, "duplicate commit-sent for attempt %d (state %s)", e.Attempt, prev)
+			}
+			commits[k] = CommitSent
+		case Committed, CommitAborted:
+			k := attemptKey{e.Job, e.Attempt}
+			switch prev, ok := commits[k]; {
+			case !ok:
+				violate(e.Seq, e.Job, "%s for attempt %d without commit-sent", e.Kind, e.Attempt)
+			case prev == CommitAborted && e.Kind == Committed:
+				violate(e.Seq, e.Job, "committed after commit-aborted for attempt %d", e.Attempt)
+			case prev != CommitSent:
+				violate(e.Seq, e.Job, "%s for attempt %d already resolved as %s", e.Kind, e.Attempt, prev)
+			}
+			commits[k] = e.Kind
+		}
+		if e.Kind.Terminal() && e.Job != "" {
+			if _, dead := terminal[e.Job]; !dead {
+				terminal[e.Job] = e.Kind
+			}
+		}
+	}
+
+	var endSeq uint64
+	if len(events) > 0 {
+		endSeq = events[len(events)-1].Seq
+	}
+	var dangling []leaseKey
+	for k, n := range held {
+		if n > 0 {
+			dangling = append(dangling, k)
+		}
+	}
+	sort.Slice(dangling, func(i, j int) bool {
+		if dangling[i].job != dangling[j].job {
+			return dangling[i].job < dangling[j].job
+		}
+		return dangling[i].site < dangling[j].site
+	})
+	for _, k := range dangling {
+		out = append(out, Violation{Seq: endSeq, Job: k.job,
+			Msg: fmt.Sprintf("%d dangling lease(s) on %s at end of trace", held[k], k.site)})
+	}
+	return out
+}
+
+// CheckComplete runs Check plus the drained-grid invariant: every job
+// with a Submitted event reached a terminal state. (Gatekeeper
+// submissions not tied to a broker job — agent launches labeled by
+// their LRM handle ID — carry 2PC events but no Submitted, and are
+// exempt.) Use it for logs of runs that drained (the chaos sweep); a
+// trace cut mid-run legitimately fails it.
+func CheckComplete(events []Event) []Violation {
+	out := Check(events)
+	terminal := make(map[string]bool)
+	firstSeq := make(map[string]uint64)
+	var jobs []string
+	for _, e := range events {
+		if e.Job == "" {
+			continue
+		}
+		if e.Kind == Submitted {
+			if _, ok := firstSeq[e.Job]; !ok {
+				firstSeq[e.Job] = e.Seq
+				jobs = append(jobs, e.Job)
+			}
+		}
+		if e.Kind.Terminal() {
+			terminal[e.Job] = true
+		}
+	}
+	for _, job := range jobs {
+		if !terminal[job] {
+			out = append(out, Violation{Seq: firstSeq[job], Job: job, Msg: "no terminal event"})
+		}
+	}
+	return out
+}

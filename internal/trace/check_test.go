@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// build stamps Seq/T/Name onto a literal event list, mimicking Emit.
+func build(events []Event) []Event {
+	for i := range events {
+		events[i].Seq = uint64(i)
+		events[i].T = time.Duration(i) * time.Second
+		events[i].Name = events[i].Kind.String()
+	}
+	return events
+}
+
+func wantClean(t *testing.T, events []Event) {
+	t.Helper()
+	if vs := Check(build(events)); len(vs) != 0 {
+		t.Fatalf("clean trace flagged: %v", vs)
+	}
+}
+
+func wantViolation(t *testing.T, events []Event, substr string) {
+	t.Helper()
+	vs := Check(build(events))
+	for _, v := range vs {
+		if strings.Contains(v.String(), substr) {
+			return
+		}
+	}
+	t.Fatalf("no violation containing %q; got %v", substr, vs)
+}
+
+func TestCheckCleanTrace(t *testing.T) {
+	wantClean(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: Matched, Job: "j1", Site: "s0"},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s0", N: 2},
+		{Kind: CommitSent, Job: "j1", Site: "s0"},
+		{Kind: Committed, Job: "j1", Site: "s0"},
+		{Kind: Started, Job: "j1", Site: "s0"},
+		{Kind: LeaseReleased, Job: "j1", Site: "s0", N: 2},
+		{Kind: Done, Job: "j1"},
+	})
+}
+
+func TestCheckRetryTrace(t *testing.T) {
+	// Failure-and-resubmit with a deferred release landing after Failed
+	// (the broker's real control flow) must pass.
+	wantClean(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: Matched, Job: "j1", Site: "s0"},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s0", N: 1},
+		{Kind: CommitSent, Job: "j1", Site: "s0"},
+		{Kind: CommitAborted, Job: "j1", Site: "s0"},
+		{Kind: Resubmitted, Job: "j1", Attempt: 1, Detail: "commit aborted"},
+		{Kind: Matched, Job: "j1", Site: "s1"},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s1", N: 1},
+		{Kind: CommitSent, Job: "j1", Site: "s1", Attempt: 1},
+		{Kind: Committed, Job: "j1", Site: "s1", Attempt: 1},
+		{Kind: Started, Job: "j1", Site: "s1"},
+		{Kind: Failed, Job: "j1"},
+		{Kind: LeaseReleased, Job: "j1", Site: "s1", N: 1}, // deferred unlease
+		{Kind: LeaseReleased, Job: "j1", Site: "s0", N: 1},
+	})
+}
+
+func TestCheckSiteDeathForgivesLeases(t *testing.T) {
+	// Site dies: broker drops every lease on it, then the job's deferred
+	// release still fires. Both orders of bookkeeping must balance.
+	wantClean(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s0", N: 3},
+		{Kind: SiteCrashed, Site: "s0"},
+		{Kind: LeaseDropped, Site: "s0"},
+		{Kind: Resubmitted, Job: "j1", Attempt: 1, Detail: "site lost"},
+		{Kind: LeaseReleased, Job: "j1", Site: "s0", N: 3}, // deferred, post-drop
+		{Kind: Failed, Job: "j1"},
+	})
+}
+
+func TestCheckDanglingLease(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s0", N: 2},
+		{Kind: LeaseReleased, Job: "j1", Site: "s0", N: 1},
+		{Kind: Done, Job: "j1"},
+	}, "dangling lease")
+}
+
+func TestCheckDoubleRelease(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: LeaseAcquired, Job: "j1", Site: "s0", N: 1},
+		{Kind: LeaseReleased, Job: "j1", Site: "s0", N: 1},
+		{Kind: LeaseReleased, Job: "j1", Site: "s0", N: 1},
+	}, "never acquired")
+}
+
+func TestCheckPostTerminalEvent(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: Done, Job: "j1"},
+		{Kind: Started, Job: "j1", Site: "s0"},
+	}, "started after terminal done")
+}
+
+func TestCheckResubmitMonotone(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: Resubmitted, Job: "j1", Attempt: 2},
+		{Kind: Resubmitted, Job: "j1", Attempt: 2},
+	}, "not after 2")
+}
+
+func TestCheckCommittedAfterAbort(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: CommitSent, Job: "j1", Site: "s0"},
+		{Kind: CommitAborted, Job: "j1", Site: "s0"},
+		{Kind: Committed, Job: "j1", Site: "s0"},
+	}, "committed after commit-aborted")
+}
+
+func TestCheckCommitWithoutSent(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: Committed, Job: "j1", Site: "s0"},
+	}, "without commit-sent")
+}
+
+func TestCheckDuplicateCommitSent(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: CommitSent, Job: "j1", Site: "s0"},
+		{Kind: CommitSent, Job: "j1", Site: "s0"},
+	}, "duplicate commit-sent")
+}
+
+func TestCheckDeterministicDanglingOrder(t *testing.T) {
+	events := build([]Event{
+		{Kind: LeaseAcquired, Job: "j2", Site: "s1", N: 1},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s0", N: 1},
+		{Kind: LeaseAcquired, Job: "j1", Site: "s1", N: 1},
+	})
+	first := Check(events)
+	if len(first) != 3 {
+		t.Fatalf("got %d violations, want 3: %v", len(first), first)
+	}
+	for i := 0; i < 20; i++ {
+		again := Check(events)
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("violation order unstable: %v vs %v", first, again)
+			}
+		}
+	}
+	if first[0].Job != "j1" || first[2].Job != "j2" {
+		t.Errorf("violations not sorted by job: %v", first)
+	}
+}
+
+func TestCheckComplete(t *testing.T) {
+	events := build([]Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: Done, Job: "j1"},
+		{Kind: Submitted, Job: "j2"},
+	})
+	vs := CheckComplete(events)
+	if len(vs) != 1 || vs[0].Job != "j2" || !strings.Contains(vs[0].Msg, "no terminal") {
+		t.Fatalf("got %v, want one no-terminal violation for j2", vs)
+	}
+}

@@ -1,0 +1,255 @@
+// Package trace is the job-lifecycle event-tracing subsystem: a
+// low-overhead, deterministic recorder on the simulation clock that
+// gives every job an ordered event timeline — the per-job view of the
+// quantities the paper's evaluation reports only in aggregate (match
+// latency, two-phase-commit outcome, console attach, resubmission
+// after failure).
+//
+// The tracer is off by default everywhere: a disabled tracer is a nil
+// pointer, and every method is nil-receiver safe, so instrumented code
+// pays exactly one nil check per potential event. Events are appended
+// in simulation-execution order, which is deterministic for a fixed
+// seed — the same run emits a byte-identical JSONL export, so traces
+// can serve as golden artifacts that CI diffs.
+//
+// On top of the raw log live three consumers: Timelines reconstructs
+// per-job histories with derived latencies (timeline.go), Check
+// verifies structural invariants of the log (check.go), and the
+// exporters serialize to JSONL and Chrome trace_event format for
+// chrome://tracing / Perfetto (export.go).
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the event classes of the schema (DESIGN.md §3d).
+type Kind uint8
+
+// Job lifecycle events (Job is always set).
+const (
+	// Submitted marks the job entering the broker.
+	Submitted Kind = iota
+	// Matched marks the broker choosing a site for an attempt; Site
+	// and Rank carry the choice.
+	Matched
+	// CommitSent marks the two-phase commit's phase-1 accept: the LRM
+	// holds the job, the commit acknowledgment is in flight.
+	CommitSent
+	// Committed marks the phase-2 acknowledgment arriving.
+	Committed
+	// CommitAborted marks the 2PC aborting: the site died (or was cut
+	// off) between phase-1 accept and the commit acknowledgment.
+	CommitAborted
+	// Started marks the job running on its allocation.
+	Started
+	// ConsoleAttached marks a console agent's first connection to the
+	// shadow (N carries the subjob index).
+	ConsoleAttached
+	// LinkDown marks a console link losing its connection (transient)
+	// or giving up permanently (Detail says which).
+	LinkDown
+	// LinkResumed marks a console link re-attaching after LinkDown.
+	LinkResumed
+	// HeartbeatLost marks the broker noticing a hosting glide-in
+	// agent's death via heartbeat monitoring.
+	HeartbeatLost
+	// Resubmitted marks a failure-driven resubmission; Attempt is the
+	// new (monotonically increasing) attempt index and Detail the
+	// reason.
+	Resubmitted
+	// Done, Failed and Aborted are the terminal states.
+	Done
+	Failed
+	Aborted
+)
+
+// Lease bookkeeping events (Job and Site set). Lease events may trail
+// a job's terminal event: the broker's deferred releases run after the
+// failure handler, so the post-terminal invariant exempts them.
+const (
+	// LeaseAcquired marks the broker reserving N CPUs on Site.
+	LeaseAcquired Kind = iota + 32
+	// LeaseReleased marks the broker undoing N of the job's leases.
+	LeaseReleased
+	// LeaseDropped marks every lease on Site being dropped at once
+	// (site death or unregistration); Job is empty.
+	LeaseDropped
+)
+
+// Grid-level events (Job is usually empty; Site identifies the
+// subject). The timeline reconstructor cross-references them into the
+// timelines of jobs that touched the site.
+const (
+	// Quarantined marks Site's circuit breaker tripping.
+	Quarantined Kind = iota + 48
+	// Unquarantined marks Site's breaker resetting after a successful
+	// half-open probe.
+	Unquarantined
+	// SiteCrashed and SiteRestarted bracket a site's downtime.
+	SiteCrashed
+	SiteRestarted
+	// AgentDied marks a glide-in agent leaving involuntarily (killed
+	// by fault injection, or evicted by the LRM; Detail says which).
+	AgentDied
+	// FaultInjected marks the fault layer applying (or skipping) an
+	// event; Detail carries the fault kind and status.
+	FaultInjected
+)
+
+var kindNames = map[Kind]string{
+	Submitted:       "submitted",
+	Matched:         "matched",
+	CommitSent:      "commit-sent",
+	Committed:       "committed",
+	CommitAborted:   "commit-aborted",
+	Started:         "started",
+	ConsoleAttached: "console-attached",
+	LinkDown:        "link-down",
+	LinkResumed:     "link-resumed",
+	HeartbeatLost:   "heartbeat-lost",
+	Resubmitted:     "resubmitted",
+	Done:            "done",
+	Failed:          "failed",
+	Aborted:         "aborted",
+	LeaseAcquired:   "lease-acquired",
+	LeaseReleased:   "lease-released",
+	LeaseDropped:    "lease-dropped",
+	Quarantined:     "quarantined",
+	Unquarantined:   "unquarantined",
+	SiteCrashed:     "site-crashed",
+	SiteRestarted:   "site-restarted",
+	AgentDied:       "agent-died",
+	FaultInjected:   "fault-injected",
+}
+
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, len(kindNames))
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// String names the kind.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindByName resolves a kind from its wire name (JSONL imports).
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// Terminal reports whether the kind ends a job's lifecycle.
+func (k Kind) Terminal() bool { return k == Done || k == Failed || k == Aborted }
+
+// Lifecycle reports whether the kind is a job lifecycle event — the
+// class the post-terminal invariant applies to. Lease bookkeeping and
+// grid-level events are exempt.
+func (k Kind) Lifecycle() bool { return k <= Aborted }
+
+// Event is one trace record. The zero value of every optional field is
+// omitted from exports, so the JSONL stays compact and deterministic.
+type Event struct {
+	// Seq is the tracer-assigned global order (0, 1, 2, ...).
+	Seq uint64 `json:"seq"`
+	// T is the virtual-time offset from the tracer's start.
+	T time.Duration `json:"t_ns"`
+	// Job is the broker job ID ("" for grid-level events).
+	Job string `json:"job,omitempty"`
+	// Kind is the event class.
+	Kind Kind `json:"-"`
+	// Name is Kind's wire form; filled by the tracer on Emit.
+	Name string `json:"kind"`
+	// Site is the involved site ("" when not site-specific).
+	Site string `json:"site,omitempty"`
+	// Attempt is the job's resubmission index at the event.
+	Attempt int `json:"attempt,omitempty"`
+	// N is an event-specific count (leased CPUs, console subjob).
+	N int `json:"n,omitempty"`
+	// Rank is the matchmaking rank of a Matched event.
+	Rank float64 `json:"rank,omitempty"`
+	// Dur is an event-specific window (fault duration).
+	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Detail is free-form context (failure reason, fault kind).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Trace is a labeled event log — one tracer's output, or one parsed
+// JSONL group.
+type Trace struct {
+	Label  string
+	Events []Event
+}
+
+// Tracer records events against a virtual (or real) clock. All methods
+// are safe on a nil receiver: a nil *Tracer is the disabled state, and
+// instrumented code calls Emit unconditionally.
+//
+// The mutex exists for the real-time console path; on the simulation
+// hot path it is uncontended and costs a few nanoseconds per event.
+type Tracer struct {
+	mu     sync.Mutex
+	now    func() time.Time
+	start  time.Time
+	events []Event
+	seq    uint64
+}
+
+// New creates a tracer reading timestamps from now — Sim.Now for
+// deterministic virtual-time traces, time.Now for the real-time
+// console. The first reading fixes the trace origin.
+func New(now func() time.Time) *Tracer {
+	return &Tracer{now: now, start: now(), events: make([]Event, 0, 256)}
+}
+
+// Emit appends an event, assigning its sequence number, timestamp and
+// wire name. No-op on a nil tracer.
+func (t *Tracer) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	e.T = t.now().Sub(t.start)
+	e.Name = e.Kind.String()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// Enabled reports whether the tracer records (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Len reports the recorded event count (0 for nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded log in emission order (nil for
+// a nil tracer).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// Snapshot packages the current log under a label for export.
+func (t *Tracer) Snapshot(label string) Trace {
+	return Trace{Label: label, Events: t.Events()}
+}
