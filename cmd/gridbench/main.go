@@ -7,6 +7,7 @@
 //	gridbench -exp fig8                 # VM load overhead
 //	gridbench -exp ablations            # design-choice studies
 //	gridbench -exp bench                # matchmaking benchmarks -> JSON
+//	gridbench -exp replay -trace f.swf  # replay a recorded workload -> JSON
 //	gridbench -exp all
 //
 // Figures 6 and 7 run in real time over shaped in-memory networks;
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, chaos, checktrace, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, chaos, replay, checktrace, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
 	iters := flag.Int("iters", 1000, "loop iterations (fig 8)")
@@ -44,6 +45,9 @@ func main() {
 	chromeOut := flag.String("chromeout", "", "also convert -tracein to Chrome trace_event JSON at this path")
 	baseline := flag.String("baseline", "", "committed BENCH_matchmaking.json to compare -exp bench results against")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs -baseline before failing")
+	tracePath := flag.String("trace", "", "SWF/GWF workload log to drive -exp replay")
+	replayOut := flag.String("replayout", "BENCH_replay.json", "output path for -exp replay")
+	window := flag.String("window", "", "trace window for -exp replay as N:M hours (default whole trace)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -67,8 +71,12 @@ func main() {
 	run("ablations", func() error { return ablations(*scale, *seed) })
 	run("bench", func() error { return bench(*benchOut, *baseline, *tolerance) })
 	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *seed) })
-	// checktrace verifies an existing log, so it only runs when named
-	// explicitly (there is nothing to check under -exp all).
+	// replay needs a workload log and checktrace an existing event
+	// log, so both run only when named explicitly (there is nothing to
+	// feed them under -exp all).
+	if *exp == "replay" {
+		run("replay", func() error { return replay(*tracePath, *replayOut, *traceOut, *window, *seed) })
+	}
 	if *exp == "checktrace" {
 		run("checktrace", func() error { return checktrace(*traceIn, *chromeOut) })
 	}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"crossbroker/internal/experiments"
+	"crossbroker/internal/trace"
+	"crossbroker/internal/workload"
+)
+
+// replayReport is the BENCH_replay.json document: the paper's day
+// experiment driven by a recorded SWF/GWF workload instead of the
+// synthetic mix, swept over arrival speedups.
+type replayReport struct {
+	GeneratedBy string                    `json:"generated_by"`
+	GoVersion   string                    `json:"go_version"`
+	Trace       string                    `json:"trace"`
+	Window      string                    `json:"window"`
+	Seed        int64                     `json:"seed"`
+	Points      []experiments.ReplayPoint `json:"points"`
+}
+
+// parseWindow parses the -window flag: "N:M" replays hours N..M of
+// the trace, "N:" from N to the end, "" the whole trace.
+func parseWindow(s string) (start, end float64, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	lo, hi, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("-window %q (want N:M hours)", s)
+	}
+	if lo != "" {
+		if start, err = strconv.ParseFloat(lo, 64); err != nil {
+			return 0, 0, fmt.Errorf("-window start %q: %w", lo, err)
+		}
+	}
+	if hi != "" {
+		if end, err = strconv.ParseFloat(hi, 64); err != nil {
+			return 0, 0, fmt.Errorf("-window end %q: %w", hi, err)
+		}
+	}
+	return start, end, nil
+}
+
+// replay loads an SWF/GWF trace and runs the replay sweep. The sweep
+// is fully deterministic for a fixed trace + seed: two runs produce a
+// byte-identical BENCH_replay.json (and, with -traceout, byte-
+// identical event logs that pass -exp checktrace).
+func replay(tracePath, out, traceout, window string, seed int64) error {
+	if tracePath == "" {
+		return fmt.Errorf("-trace is required (an .swf or .gwf file; see EXPERIMENTS.md for public archives)")
+	}
+	start, end, err := parseWindow(window)
+	if err != nil {
+		return err
+	}
+	jobs, err := workload.LoadTrace(tracePath, false)
+	if err != nil {
+		return err
+	}
+	pts, err := experiments.ReplaySweep(experiments.ReplayConfig{
+		Jobs:      jobs,
+		StartHour: start, EndHour: end,
+		Seed:   seed,
+		Traced: traceout != "",
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Replay — %s (%d usable jobs), window %q\n", filepath.Base(tracePath), len(jobs), window)
+	fmt.Println(experiments.RenderReplay(pts))
+	for _, p := range pts {
+		if p.Done+p.Failed+p.Pending != p.Submitted {
+			return fmt.Errorf("replay: speedup %g lost jobs (%d done, %d failed, %d pending, %d submitted)",
+				p.Speedup, p.Done, p.Failed, p.Pending, p.Submitted)
+		}
+	}
+	rep := replayReport{
+		GeneratedBy: "gridbench -exp replay",
+		GoVersion:   runtime.Version(),
+		Trace:       filepath.Base(tracePath),
+		Window:      window,
+		Seed:        seed,
+		Points:      pts,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if traceout != "" {
+		return exportReplayTraces(traceout, pts)
+	}
+	return nil
+}
+
+// exportReplayTraces checks every cell's event log against the trace
+// invariants — the strict drained-grid checks when the cell emptied,
+// the structural subset when jobs were left pending — and writes the
+// logs as one JSONL stream.
+func exportReplayTraces(path string, pts []experiments.ReplayPoint) error {
+	traces := make([]trace.Trace, 0, len(pts))
+	events := 0
+	for _, p := range pts {
+		check := trace.CheckComplete
+		if p.Pending > 0 {
+			check = trace.Check
+		}
+		if v := check(p.Trace.Events); len(v) != 0 {
+			return fmt.Errorf("replay: %s: %d trace invariant violations, first: %s",
+				p.Trace.Label, len(v), v[0])
+		}
+		events += len(p.Trace.Events)
+		traces = append(traces, p.Trace)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteJSONL(f, traces); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d cells, %d events, invariants clean)\n", path, len(traces), events)
+	return nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const gwfFixture = "../../internal/workload/testdata/grid5000.gwf"
+const swfFixture = "../../internal/workload/testdata/ctc_sp2.swf"
+
+func TestParseWindow(t *testing.T) {
+	cases := []struct {
+		in         string
+		start, end float64
+		ok         bool
+	}{
+		{"", 0, 0, true},
+		{"0:24", 0, 24, true},
+		{"1.5:6", 1.5, 6, true},
+		{"2:", 2, 0, true},
+		{":12", 0, 12, true},
+		{"5", 0, 0, false},
+		{"a:b", 0, 0, false},
+		{"1:x", 0, 0, false},
+	}
+	for _, c := range cases {
+		start, end, err := parseWindow(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("parseWindow(%q) err = %v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && (start != c.start || end != c.end) {
+			t.Fatalf("parseWindow(%q) = %v, %v; want %v, %v", c.in, start, end, c.start, c.end)
+		}
+	}
+}
+
+// TestReplayCommandDeterministic is the acceptance check end to end:
+// two runs of `gridbench -exp replay` on the checked-in GWF fixture
+// produce byte-identical BENCH_replay.json files and event logs, and
+// the log passes the -exp checktrace invariants.
+func TestReplayCommandDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	out1 := filepath.Join(dir, "r1.json")
+	out2 := filepath.Join(dir, "r2.json")
+	tr1 := filepath.Join(dir, "t1.jsonl")
+	tr2 := filepath.Join(dir, "t2.jsonl")
+	if err := replay(gwfFixture, out1, tr1, "", 2006); err != nil {
+		t.Fatal(err)
+	}
+	if err := replay(gwfFixture, out2, tr2, "", 2006); err != nil {
+		t.Fatal(err)
+	}
+	j1, err := os.ReadFile(out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("BENCH_replay.json not byte-identical across runs:\n%s\n---\n%s", j1, j2)
+	}
+	l1, err := os.ReadFile(tr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := os.ReadFile(tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(l1, l2) {
+		t.Fatal("event logs not byte-identical across runs")
+	}
+	if err := checktrace(tr1, filepath.Join(dir, "chrome.json")); err != nil {
+		t.Fatalf("checktrace rejected the replay log: %v", err)
+	}
+}
+
+func TestReplayCommandWindowAndSWF(t *testing.T) {
+	dir := t.TempDir()
+	if err := replay(swfFixture, filepath.Join(dir, "swf.json"), "", "0:1", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayCommandErrors(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "out.json")
+	if err := replay("", out, "", "", 1); err == nil {
+		t.Fatal("missing -trace accepted")
+	}
+	if err := replay(gwfFixture, out, "", "nonsense", 1); err == nil {
+		t.Fatal("bad -window accepted")
+	}
+	if err := replay(filepath.Join(dir, "absent.gwf"), out, "", "", 1); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -92,7 +92,10 @@ func Day(cfg DayConfig) (DayReport, error) {
 		}))
 	}
 
-	arrivals := workload.NewPoisson(cfg.ArrivalsPerHour, cfg.Seed)
+	arrivals, err := workload.NewPoisson(cfg.ArrivalsPerHour, cfg.Seed)
+	if err != nil {
+		return rep, err
+	}
 	mix := workload.NewMix(cfg.Seed + 100)
 	horizon := time.Duration(cfg.Hours) * time.Hour
 

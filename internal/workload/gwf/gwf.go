@@ -1,0 +1,344 @@
+// Package gwf parses the Grid Workload Format of the Grid Workloads
+// Archive (Iosup et al.): a superset of the Standard Workload Format
+// with 29 whitespace-separated fields per job — the 18 SWF-like
+// numeric fields reordered for grids (site IDs instead of preceding-
+// job links) plus grid-specific string fields (job structure, resource
+// descriptions, virtual organization, project). Header comments start
+// with `#` and may carry `Key: value` directives. Missing values are
+// encoded as -1.
+//
+// Parsing is tolerant by default (short records padded, unparseable
+// numerics repaired to -1, surplus fields dropped) with a strict mode
+// that turns every repair into a line-numbered error. The canonical
+// serializer makes parse→serialize→parse a fixed point, which the
+// fuzz harness checks.
+package gwf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// NumFields is the number of fields in one GWF record.
+const NumFields = 29
+
+// Missing is the GWF encoding for an absent value.
+const Missing = -1
+
+// missingStr is the canonical spelling of a missing string field.
+const missingStr = "-1"
+
+// Record is one GWF job entry, fields in standard order.
+type Record struct {
+	// JobID is field 1.
+	JobID int64
+	// Submit is field 2, seconds since the trace start.
+	Submit int64
+	// Wait is field 3, queue wait in seconds.
+	Wait int64
+	// Runtime is field 4, wall-clock runtime in seconds.
+	Runtime int64
+	// Procs is field 5, processors actually allocated.
+	Procs int64
+	// AvgCPU is field 6, average CPU seconds used.
+	AvgCPU float64
+	// UsedMem is field 7, used memory in KB.
+	UsedMem int64
+	// ReqProcs is field 8, requested processors.
+	ReqProcs int64
+	// ReqTime is field 9, requested wall-clock seconds.
+	ReqTime int64
+	// ReqMem is field 10, requested memory in KB.
+	ReqMem int64
+	// Status is field 11 (1 completed, 0 failed, 5 cancelled, ...).
+	Status int64
+	// User is field 12, a numeric user ID.
+	User int64
+	// Group is field 13, a numeric group ID.
+	Group int64
+	// Executable is field 14, an application ID.
+	Executable int64
+	// Queue is field 15, a queue ID.
+	Queue int64
+	// Partition is field 16, a partition ID.
+	Partition int64
+	// OrigSite is field 17, the submission site ID.
+	OrigSite int64
+	// LastRunSite is field 18, the (last) execution site ID.
+	LastRunSite int64
+	// Structure is field 19, the job structure (UNITARY, BOT, ...).
+	Structure string
+	// StructureParams is field 20, structure parameters.
+	StructureParams string
+	// UsedNetwork is field 21, network used in KB/s.
+	UsedNetwork float64
+	// UsedDisk is field 22, local disk space used in MB.
+	UsedDisk float64
+	// UsedResources is field 23, an opaque resource-usage list.
+	UsedResources string
+	// ReqPlatform is field 24, the requested platform.
+	ReqPlatform string
+	// ReqNetwork is field 25, requested network in KB/s.
+	ReqNetwork float64
+	// ReqDisk is field 26, requested local disk space in MB.
+	ReqDisk float64
+	// ReqResources is field 27, an opaque resource-request list.
+	ReqResources string
+	// VO is field 28, the virtual organization ID.
+	VO string
+	// Project is field 29, the project ID.
+	Project string
+}
+
+// Directive is one `# Key: value` header line, order-preserved.
+type Directive struct {
+	Key   string
+	Value string
+}
+
+// Trace is a parsed GWF file.
+type Trace struct {
+	// Directives are the recognized `# Key: value` header lines in
+	// file order. Plain comments are discarded.
+	Directives []Directive
+	// Records are the job entries in file order.
+	Records []Record
+}
+
+// Directive returns the value of the first directive with the given
+// key (case-insensitive), and whether it was present.
+func (t *Trace) Directive(key string) (string, bool) {
+	for _, d := range t.Directives {
+		if strings.EqualFold(d.Key, key) {
+			return d.Value, true
+		}
+	}
+	return "", false
+}
+
+// Options controls parsing.
+type Options struct {
+	// Strict rejects malformed records instead of repairing them.
+	Strict bool
+}
+
+// A ParseError reports where a strict parse failed.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("gwf: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a GWF stream.
+func Parse(r io.Reader, opts Options) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, "#"):
+			if d, ok := parseDirective(text); ok {
+				t.Directives = append(t.Directives, d)
+			}
+		default:
+			rec, err := parseRecord(text, line, opts.Strict)
+			if err != nil {
+				return nil, err
+			}
+			t.Records = append(t.Records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gwf: %w", err)
+	}
+	return t, nil
+}
+
+// ParseString parses an in-memory GWF document.
+func ParseString(src string, opts Options) (*Trace, error) {
+	return Parse(strings.NewReader(src), opts)
+}
+
+func parseDirective(text string) (Directive, bool) {
+	body := strings.TrimSpace(strings.TrimLeft(text, "#"))
+	i := strings.Index(body, ":")
+	if i <= 0 {
+		return Directive{}, false
+	}
+	key := strings.TrimSpace(body[:i])
+	if key == "" || strings.ContainsAny(key, " \t") {
+		return Directive{}, false
+	}
+	return Directive{Key: key, Value: strings.TrimSpace(body[i+1:])}, true
+}
+
+// numField parses one numeric field; tolerant mode repairs anything
+// unparseable or non-finite to Missing.
+func numField(s string, line, idx int, strict bool) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %q is not a number", idx+1, s)}
+		}
+		return Missing, nil
+	}
+	if v < Missing {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %v below -1", idx+1, v)}
+		}
+		return Missing, nil
+	}
+	return v, nil
+}
+
+func intFromField(v float64, line, idx int, strict bool) (int64, error) {
+	if v != math.Trunc(v) {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %v is not an integer", idx+1, v)}
+		}
+		v = math.Trunc(v)
+	}
+	// float64(MaxInt64) rounds up to 2^63, so >= guards the
+	// conversion against overflow.
+	if v >= math.MaxInt64 {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %v overflows", idx+1, v)}
+		}
+		return Missing, nil
+	}
+	return int64(v), nil
+}
+
+// fieldKind tags how each of the 29 columns is typed.
+type fieldKind uint8
+
+const (
+	intKind fieldKind = iota
+	floatKind
+	stringKind
+)
+
+// kinds maps field index → type: 0-17 numeric (AvgCPU float), 18-19
+// string, 20-21 float, 22-23 string, 24-25 float, 26-28 string.
+var kinds = [NumFields]fieldKind{
+	5:  floatKind,
+	18: stringKind, 19: stringKind,
+	20: floatKind, 21: floatKind,
+	22: stringKind, 23: stringKind,
+	24: floatKind, 25: floatKind,
+	26: stringKind, 27: stringKind, 28: stringKind,
+}
+
+func parseRecord(text string, line int, strict bool) (Record, error) {
+	fields := strings.Fields(text)
+	if strict && len(fields) != NumFields {
+		return Record{}, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want %d", len(fields), NumFields)}
+	}
+	var rec Record
+	ints := map[int]*int64{
+		0: &rec.JobID, 1: &rec.Submit, 2: &rec.Wait, 3: &rec.Runtime,
+		4: &rec.Procs, 6: &rec.UsedMem, 7: &rec.ReqProcs, 8: &rec.ReqTime,
+		9: &rec.ReqMem, 10: &rec.Status, 11: &rec.User, 12: &rec.Group,
+		13: &rec.Executable, 14: &rec.Queue, 15: &rec.Partition,
+		16: &rec.OrigSite, 17: &rec.LastRunSite,
+	}
+	floats := map[int]*float64{
+		5: &rec.AvgCPU, 20: &rec.UsedNetwork, 21: &rec.UsedDisk,
+		24: &rec.ReqNetwork, 25: &rec.ReqDisk,
+	}
+	strs := map[int]*string{
+		18: &rec.Structure, 19: &rec.StructureParams,
+		22: &rec.UsedResources, 23: &rec.ReqPlatform,
+		26: &rec.ReqResources, 27: &rec.VO, 28: &rec.Project,
+	}
+	for i := 0; i < NumFields; i++ {
+		var tok string
+		if i < len(fields) {
+			tok = fields[i]
+		} else {
+			tok = missingStr
+		}
+		switch kinds[i] {
+		case stringKind:
+			*strs[i] = tok
+		case floatKind:
+			v, err := numField(tok, line, i, strict)
+			if err != nil {
+				return Record{}, err
+			}
+			*floats[i] = v
+		default:
+			v, err := numField(tok, line, i, strict)
+			if err != nil {
+				return Record{}, err
+			}
+			n, err := intFromField(v, line, i, strict)
+			if err != nil {
+				return Record{}, err
+			}
+			*ints[i] = n
+		}
+	}
+	return rec, nil
+}
+
+func strField(s string) string {
+	if s == "" {
+		return missingStr
+	}
+	return s
+}
+
+// Fields returns the record in canonical textual field order.
+func (r Record) Fields() []string {
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fi := func(v int64) string { return strconv.FormatInt(v, 10) }
+	return []string{
+		fi(r.JobID), fi(r.Submit), fi(r.Wait), fi(r.Runtime), fi(r.Procs),
+		ff(r.AvgCPU), fi(r.UsedMem), fi(r.ReqProcs), fi(r.ReqTime),
+		fi(r.ReqMem), fi(r.Status), fi(r.User), fi(r.Group),
+		fi(r.Executable), fi(r.Queue), fi(r.Partition),
+		fi(r.OrigSite), fi(r.LastRunSite),
+		strField(r.Structure), strField(r.StructureParams),
+		ff(r.UsedNetwork), ff(r.UsedDisk),
+		strField(r.UsedResources), strField(r.ReqPlatform),
+		ff(r.ReqNetwork), ff(r.ReqDisk),
+		strField(r.ReqResources), strField(r.VO), strField(r.Project),
+	}
+}
+
+// Write serializes the trace canonically: directives first, then one
+// single-space-separated record per line.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range t.Directives {
+		if _, err := fmt.Fprintf(bw, "# %s: %s\n", d.Key, d.Value); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Records {
+		if _, err := bw.WriteString(strings.Join(r.Fields(), " ") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Format returns the canonical serialization as a string.
+func Format(t *Trace) string {
+	var sb strings.Builder
+	_ = Write(&sb, t) // strings.Builder writes cannot fail
+	return sb.String()
+}

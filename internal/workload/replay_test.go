@@ -1,0 +1,256 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// randomTraceJobs builds a deterministic pseudo-random trace spanning
+// roughly the given number of hours, with heavy-tailed-ish runtimes
+// and mixed widths, submitted out of order to exercise sorting.
+func randomTraceJobs(seed int64, n int, hours float64) []TraceJob {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]TraceJob, n)
+	for i := range jobs {
+		jobs[i] = TraceJob{
+			ID:      int64(i + 1),
+			Submit:  time.Duration(rng.Int63n(int64(hours * float64(time.Hour)))),
+			Runtime: time.Duration(1+rng.Int63n(4*3600)) * time.Second,
+			Nodes:   1 << rng.Intn(6),
+			User:    traceUser(int64(rng.Intn(40))),
+		}
+	}
+	return jobs
+}
+
+func drain(t *testing.T, r *Replay) (jobs []Job, delays []time.Duration) {
+	t.Helper()
+	for {
+		j, d, ok := r.Next()
+		if !ok {
+			return
+		}
+		jobs = append(jobs, j)
+		delays = append(delays, d)
+	}
+}
+
+// Property: arrival times are monotonically non-decreasing — every
+// inter-arrival delay the stream yields is >= 0, whatever the input
+// order, window or speedup.
+func TestReplayArrivalsMonotone(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		cfgs := []ReplayConfig{
+			{},
+			{Speedup: 3.7},
+			{StartHour: 2, EndHour: 9},
+			{StartHour: 1.5, EndHour: 22, Speedup: 0.25},
+		}
+		for _, cfg := range cfgs {
+			r, err := NewReplay(randomTraceJobs(seed, 300, 24), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, delays := drain(t, r)
+			for i, d := range delays {
+				if d < 0 {
+					t.Fatalf("seed %d cfg %+v: delay %d is %v", seed, cfg, i, d)
+				}
+			}
+			prev := TraceJob{}
+			for i, j := range r.Jobs() {
+				if i > 0 && j.Submit < prev.Submit {
+					t.Fatalf("seed %d: submit offsets unsorted at %d", seed, i)
+				}
+				prev = j
+			}
+		}
+	}
+}
+
+// Property: window-slicing conserves jobs — partitioning the trace
+// horizon into adjacent [N,M) windows yields exactly the jobs of the
+// full window, with none lost or duplicated at the boundaries.
+func TestReplayWindowPartitionConservesJobs(t *testing.T) {
+	partitions := [][2]float64{{0, 3}, {3, 6}, {6, 11.5}, {11.5, 24}}
+	for seed := int64(1); seed <= 20; seed++ {
+		jobs := randomTraceJobs(seed, 400, 24)
+		full, err := NewReplay(jobs, ReplayConfig{StartHour: 0, EndHour: 24})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []int64
+		total := 0
+		for _, p := range partitions {
+			r, err := NewReplay(jobs, ReplayConfig{StartHour: p[0], EndHour: p[1]})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += r.Len()
+			for _, j := range r.Jobs() {
+				got = append(got, j.ID)
+			}
+		}
+		if total != full.Len() {
+			t.Fatalf("seed %d: partitions hold %d jobs, full window %d", seed, total, full.Len())
+		}
+		seen := map[int64]bool{}
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("seed %d: job %d appears in two partitions", seed, id)
+			}
+			seen[id] = true
+		}
+		for _, j := range full.Jobs() {
+			if !seen[j.ID] {
+				t.Fatalf("seed %d: job %d lost by partitioning", seed, j.ID)
+			}
+		}
+	}
+}
+
+// Property: time-scaling by S scales every inter-arrival gap by
+// exactly 1/S on the sim clock — the scaled stream's delays equal
+// ScaleGap applied to the unscaled stream's delays, gap by gap.
+func TestReplaySpeedupScalesEveryGap(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		jobs := randomTraceJobs(seed, 250, 24)
+		base, err := NewReplay(jobs, ReplayConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, baseDelays := drain(t, base)
+		for _, s := range []float64{0.5, 1, 2, 7.25, 60} {
+			scaled, err := NewReplay(jobs, ReplayConfig{Speedup: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			scaledJobs, scaledDelays := drain(t, scaled)
+			if len(scaledDelays) != len(baseDelays) {
+				t.Fatalf("seed %d S=%v: %d delays vs %d", seed, s, len(scaledDelays), len(baseDelays))
+			}
+			for i := range baseDelays {
+				if want := ScaleGap(baseDelays[i], s); scaledDelays[i] != want {
+					t.Fatalf("seed %d S=%v gap %d: %v, want %v (unscaled %v)",
+						seed, s, i, scaledDelays[i], want, baseDelays[i])
+				}
+			}
+			// Scaling must not change the jobs themselves.
+			for i, j := range scaledJobs {
+				if j.TraceID != base.Jobs()[i].ID || j.CPU != base.Jobs()[i].Runtime {
+					t.Fatalf("seed %d S=%v: job %d mutated by scaling", seed, s, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReplayConfigValidation(t *testing.T) {
+	jobs := randomTraceJobs(1, 10, 24)
+	bad := []ReplayConfig{
+		{Speedup: -1},
+		{StartHour: -2},
+		{StartHour: 5, EndHour: 5},
+		{StartHour: 7, EndHour: 2},
+	}
+	for _, cfg := range bad {
+		if _, err := NewReplay(jobs, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	// An empty window selection is not an error — just an empty stream.
+	r, err := NewReplay(jobs, ReplayConfig{StartHour: 500, EndHour: 501})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("%d jobs in an empty window", r.Len())
+	}
+	if _, _, ok := r.Next(); ok {
+		t.Fatal("empty stream yielded a job")
+	}
+}
+
+func TestReplayClassificationAndReset(t *testing.T) {
+	jobs := []TraceJob{
+		{ID: 1, Submit: 0, Runtime: 5 * time.Minute, Nodes: 1, User: "u"},
+		{ID: 2, Submit: time.Minute, Runtime: 5 * time.Hour, Nodes: 1, User: "u"},
+		{ID: 3, Submit: 2 * time.Minute, Runtime: 5 * time.Minute, Nodes: 64, User: "u"},
+	}
+	r, err := NewReplay(jobs, ReplayConfig{Rule: ClassifyRule{MaxRuntime: 10 * time.Minute, MaxNodes: 4}, PerformanceLoss: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := drain(t, r)
+	if got[0].Kind != InteractiveJob || got[0].PerformanceLoss != 25 {
+		t.Fatalf("short narrow job not interactive: %+v", got[0])
+	}
+	if got[1].Kind != BatchJob || got[1].PerformanceLoss != 0 {
+		t.Fatalf("long job not batch: %+v", got[1])
+	}
+	if got[2].Kind != BatchJob {
+		t.Fatalf("wide job not batch: %+v", got[2])
+	}
+	r.Reset()
+	if again, _ := drain(t, r); len(again) != len(got) {
+		t.Fatal("Reset did not rewind the stream")
+	}
+	if i, b := r.Classified(); i != 1 || b != 2 {
+		t.Fatalf("Classified = %d, %d", i, b)
+	}
+}
+
+func TestSyntheticStream(t *testing.T) {
+	p, err := NewPoisson(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Synthetic{Arrivals: p, Mix: NewMix(2)}
+	for i := 0; i < 100; i++ {
+		j, d, ok := s.Next()
+		if !ok || d < 0 || j.User == "" {
+			t.Fatalf("synthetic stream broke at %d: %+v %v %v", i, j, d, ok)
+		}
+	}
+}
+
+func TestScaleGapSaturates(t *testing.T) {
+	if got := ScaleGap(time.Hour, 1e-12); got != time.Duration(math.MaxInt64) {
+		t.Fatalf("tiny speedup did not saturate: %v", got)
+	}
+	if got := ScaleGap(0, 0.001); got != 0 {
+		t.Fatalf("zero gap scaled to %v", got)
+	}
+}
+
+func TestTraceUser(t *testing.T) {
+	if got := traceUser(-1); got != "/O=Trace/CN=unknown" {
+		t.Fatalf("traceUser(-1) = %q", got)
+	}
+	if got := traceUser(42); got != "/O=Trace/CN=user42" {
+		t.Fatalf("traceUser(42) = %q", got)
+	}
+}
+
+func TestLoadTraceCaseInsensitiveExtension(t *testing.T) {
+	dir := t.TempDir()
+	src, err := os.ReadFile("testdata/ctc_sp2.swf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	upper := filepath.Join(dir, "CTC_SP2.SWF")
+	if err := os.WriteFile(upper, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := LoadTrace(upper, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("%d jobs from .SWF, want 12", len(jobs))
+	}
+}

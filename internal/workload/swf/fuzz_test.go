@@ -1,0 +1,62 @@
+package swf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// seedCorpus covers valid records, truncated records, -1-riddled
+// records, directive soup and numeric edge cases.
+var seedCorpus = []string{
+	sample,
+	"",
+	"; Version: 2\n",
+	"1 0 10 3600 16 3590.5 -1 16 43200 -1 1 5 1 -1 1 1 -1 -1\n",
+	"1 0 10\n", // truncated
+	"-1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n",         // all missing
+	"2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1\n", // surplus
+	"x y z\n", // garbage
+	"1e300 NaN Inf -Inf 1.5 0.25 -2 9223372036854775807 9223372036854775808 0 0 0 0 0 0 0 0 0\n",
+	";\n;;\n; :\n; a:b\n", // directive edge cases
+	"\t 3 \t 4 \n\n",      // odd whitespace
+	"0.5 -0.5 -0 1e-300 7 7 7 7 7 7 7 7 7 7 7 7 7 7\n",
+}
+
+// FuzzParseSWF asserts the tolerant parser never panics and that
+// parse→serialize→parse is a fixed point: the canonical form of any
+// parse reparses (strictly, even) to an identical trace.
+func FuzzParseSWF(f *testing.F) {
+	for _, s := range seedCorpus {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := ParseString(src, Options{})
+		if err != nil {
+			// Only scanner-level failures (absurdly long lines) may
+			// error in tolerant mode; they must be real errors.
+			if tr != nil {
+				t.Fatal("non-nil trace alongside error")
+			}
+			return
+		}
+		out := Format(tr)
+		tr2, err := ParseString(out, Options{Strict: true})
+		if err != nil {
+			t.Fatalf("canonical form rejected by strict parse: %v\ninput: %q\ncanonical: %q", err, src, out)
+		}
+		if !reflect.DeepEqual(tr, tr2) {
+			t.Fatalf("parse→serialize→parse diverged\ninput: %q\ncanonical: %q\nfirst: %+v\nsecond: %+v", src, out, tr, tr2)
+		}
+		if out2 := Format(tr2); out2 != out {
+			t.Fatalf("second serialization diverged:\n%q\n%q", out, out2)
+		}
+		// Strict parses, when they succeed, must agree with tolerant.
+		if st, err := ParseString(src, Options{Strict: true}); err == nil {
+			if !reflect.DeepEqual(st, tr) {
+				t.Fatalf("strict and tolerant parses of valid input diverged\n%+v\n%+v", st, tr)
+			}
+		}
+		_ = strings.Count(out, "\n")
+	})
+}

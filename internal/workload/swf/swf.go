@@ -1,0 +1,295 @@
+// Package swf parses the Standard Workload Format used by the
+// Parallel Workloads Archive: one job per line, 18 whitespace-
+// separated numeric fields, with `;`-prefixed header comments that may
+// carry `Key: value` directives (UnixStartTime, MaxNodes, ...).
+// Missing values are encoded as -1 throughout.
+//
+// Parsing is tolerant by default — short records are padded with -1,
+// unparseable fields become -1, surplus fields are dropped — so that
+// real archive logs with local quirks still load. Strict mode turns
+// every such repair into an error with a line number, for validating
+// fixtures and generated traces.
+//
+// The serializer emits a canonical form (directives, then records,
+// single-space separated), and parse→serialize→parse is a fixed
+// point: reparsing a serialized trace reproduces it exactly. The fuzz
+// harness leans on that property.
+package swf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// NumFields is the number of fields in one SWF record.
+const NumFields = 18
+
+// Missing is the SWF encoding for an absent value.
+const Missing = -1
+
+// Record is one SWF job entry, fields in standard order.
+type Record struct {
+	// JobID is field 1, the job number.
+	JobID int64
+	// Submit is field 2, seconds since the trace start.
+	Submit int64
+	// Wait is field 3, queue wait in seconds.
+	Wait int64
+	// Runtime is field 4, wall-clock runtime in seconds.
+	Runtime int64
+	// Procs is field 5, processors actually allocated.
+	Procs int64
+	// AvgCPU is field 6, average CPU seconds used (may be fractional).
+	AvgCPU float64
+	// UsedMem is field 7, used memory in KB per processor.
+	UsedMem int64
+	// ReqProcs is field 8, requested processors.
+	ReqProcs int64
+	// ReqTime is field 9, requested wall-clock time in seconds.
+	ReqTime int64
+	// ReqMem is field 10, requested memory in KB per processor.
+	ReqMem int64
+	// Status is field 11 (1 completed, 0 failed, 5 cancelled, ...).
+	Status int64
+	// User is field 12, a numeric user ID.
+	User int64
+	// Group is field 13, a numeric group ID.
+	Group int64
+	// Executable is field 14, an application number.
+	Executable int64
+	// Queue is field 15, a queue number.
+	Queue int64
+	// Partition is field 16, a partition number.
+	Partition int64
+	// PrevJob is field 17, the preceding job number.
+	PrevJob int64
+	// ThinkTime is field 18, seconds from the preceding job's
+	// completion to this job's submittal.
+	ThinkTime int64
+}
+
+// Directive is one `; Key: value` header line, order-preserved.
+type Directive struct {
+	Key   string
+	Value string
+}
+
+// Trace is a parsed SWF file.
+type Trace struct {
+	// Directives are the recognized `; Key: value` header lines in
+	// file order. Plain comments are discarded.
+	Directives []Directive
+	// Records are the job entries in file order.
+	Records []Record
+}
+
+// Directive returns the value of the first directive with the given
+// key (case-insensitive), and whether it was present.
+func (t *Trace) Directive(key string) (string, bool) {
+	for _, d := range t.Directives {
+		if strings.EqualFold(d.Key, key) {
+			return d.Value, true
+		}
+	}
+	return "", false
+}
+
+// Options controls parsing.
+type Options struct {
+	// Strict rejects malformed records instead of repairing them:
+	// wrong field counts, unparseable or non-integral integer fields,
+	// and values below -1 all become errors carrying the line number.
+	Strict bool
+}
+
+// A ParseError reports where a strict parse failed.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("swf: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads an SWF stream.
+func Parse(r io.Reader, opts Options) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case text == "":
+			continue
+		case strings.HasPrefix(text, ";"):
+			if d, ok := parseDirective(text, ";"); ok {
+				t.Directives = append(t.Directives, d)
+			}
+		default:
+			rec, err := parseRecord(text, line, opts.Strict)
+			if err != nil {
+				return nil, err
+			}
+			t.Records = append(t.Records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("swf: %w", err)
+	}
+	return t, nil
+}
+
+// ParseString parses an in-memory SWF document.
+func ParseString(src string, opts Options) (*Trace, error) {
+	return Parse(strings.NewReader(src), opts)
+}
+
+// parseDirective splits a `<marker> Key: value` comment. Comment lines
+// without a colon, or with an empty key, are not directives.
+func parseDirective(text, marker string) (Directive, bool) {
+	body := strings.TrimSpace(strings.TrimLeft(text, marker))
+	i := strings.Index(body, ":")
+	if i <= 0 {
+		return Directive{}, false
+	}
+	key := strings.TrimSpace(body[:i])
+	if key == "" || strings.ContainsAny(key, " \t") {
+		// Keys are single tokens (UnixStartTime, MaxNodes, ...); a
+		// colon later in running text is not a directive.
+		return Directive{}, false
+	}
+	return Directive{Key: key, Value: strings.TrimSpace(body[i+1:])}, true
+}
+
+// fieldVal parses one numeric field. Tolerant mode repairs anything
+// unparseable (or non-finite, which the canonical serializer could
+// not round-trip) to Missing.
+func fieldVal(s string, line, idx int, strict bool) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %q is not a number", idx+1, s)}
+		}
+		return Missing, nil
+	}
+	if v < Missing {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %v below -1", idx+1, v)}
+		}
+		return Missing, nil
+	}
+	return v, nil
+}
+
+// intField converts a parsed field to int64, truncating fractions in
+// tolerant mode and rejecting them in strict mode.
+func intField(v float64, line, idx int, strict bool) (int64, error) {
+	if v != math.Trunc(v) {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %v is not an integer", idx+1, v)}
+		}
+		v = math.Trunc(v)
+	}
+	// float64(MaxInt64) rounds up to 2^63, so >= is the correct
+	// overflow guard for the int64 conversion below.
+	if v >= math.MaxInt64 {
+		if strict {
+			return 0, &ParseError{Line: line, Msg: fmt.Sprintf("field %d: %v overflows", idx+1, v)}
+		}
+		return Missing, nil
+	}
+	return int64(v), nil
+}
+
+func parseRecord(text string, line int, strict bool) (Record, error) {
+	fields := strings.Fields(text)
+	if strict && len(fields) != NumFields {
+		return Record{}, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want %d", len(fields), NumFields)}
+	}
+	vals := [NumFields]float64{}
+	for i := range vals {
+		vals[i] = Missing
+	}
+	for i := 0; i < NumFields && i < len(fields); i++ {
+		v, err := fieldVal(fields[i], line, i, strict)
+		if err != nil {
+			return Record{}, err
+		}
+		vals[i] = v
+	}
+	var rec Record
+	ints := [...]*int64{
+		0: &rec.JobID, 1: &rec.Submit, 2: &rec.Wait, 3: &rec.Runtime,
+		4: &rec.Procs, 6: &rec.UsedMem, 7: &rec.ReqProcs, 8: &rec.ReqTime,
+		9: &rec.ReqMem, 10: &rec.Status, 11: &rec.User, 12: &rec.Group,
+		13: &rec.Executable, 14: &rec.Queue, 15: &rec.Partition,
+		16: &rec.PrevJob, 17: &rec.ThinkTime,
+	}
+	for i, dst := range ints {
+		if dst == nil { // field 6 (AvgCPU) stays float
+			continue
+		}
+		n, err := intField(vals[i], line, i, strict)
+		if err != nil {
+			return Record{}, err
+		}
+		*dst = n
+	}
+	rec.AvgCPU = vals[5]
+	return rec, nil
+}
+
+// Fields returns the record in canonical textual field order.
+func (r Record) Fields() []string {
+	return []string{
+		strconv.FormatInt(r.JobID, 10),
+		strconv.FormatInt(r.Submit, 10),
+		strconv.FormatInt(r.Wait, 10),
+		strconv.FormatInt(r.Runtime, 10),
+		strconv.FormatInt(r.Procs, 10),
+		strconv.FormatFloat(r.AvgCPU, 'g', -1, 64),
+		strconv.FormatInt(r.UsedMem, 10),
+		strconv.FormatInt(r.ReqProcs, 10),
+		strconv.FormatInt(r.ReqTime, 10),
+		strconv.FormatInt(r.ReqMem, 10),
+		strconv.FormatInt(r.Status, 10),
+		strconv.FormatInt(r.User, 10),
+		strconv.FormatInt(r.Group, 10),
+		strconv.FormatInt(r.Executable, 10),
+		strconv.FormatInt(r.Queue, 10),
+		strconv.FormatInt(r.Partition, 10),
+		strconv.FormatInt(r.PrevJob, 10),
+		strconv.FormatInt(r.ThinkTime, 10),
+	}
+}
+
+// Write serializes the trace canonically: directives first, then one
+// single-space-separated record per line.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for _, d := range t.Directives {
+		if _, err := fmt.Fprintf(bw, "; %s: %s\n", d.Key, d.Value); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Records {
+		if _, err := bw.WriteString(strings.Join(r.Fields(), " ") + "\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Format returns the canonical serialization as a string.
+func Format(t *Trace) string {
+	var sb strings.Builder
+	_ = Write(&sb, t) // strings.Builder writes cannot fail
+	return sb.String()
+}

@@ -9,6 +9,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"time"
@@ -20,6 +21,14 @@ type Arrivals interface {
 	Next() time.Duration
 }
 
+// Stream couples an arrival process with job generation: each Next
+// yields a job plus the delay since the previous arrival, until the
+// stream (if finite) is exhausted. Synthetic generators and trace
+// replays both feed experiments through this interface.
+type Stream interface {
+	Next() (Job, time.Duration, bool)
+}
+
 // Poisson is a Poisson arrival process (exponential inter-arrivals).
 type Poisson struct {
 	rng  *rand.Rand
@@ -27,15 +36,17 @@ type Poisson struct {
 }
 
 // NewPoisson creates a process with the given arrival rate in events
-// per hour.
-func NewPoisson(perHour float64, seed int64) *Poisson {
-	if perHour <= 0 {
-		perHour = 1
+// per hour. A rate that is zero, negative or non-finite is an error:
+// the old silent clamp to one event per hour hid misconfigured
+// experiments behind a plausible-looking trickle of arrivals.
+func NewPoisson(perHour float64, seed int64) (*Poisson, error) {
+	if perHour <= 0 || math.IsNaN(perHour) || math.IsInf(perHour, 0) {
+		return nil, fmt.Errorf("workload: arrival rate %v/h (want a positive finite rate)", perHour)
 	}
 	return &Poisson{
 		rng:  rand.New(rand.NewSource(seed)),
 		mean: time.Duration(float64(time.Hour) / perHour),
-	}
+	}, nil
 }
 
 // Next draws an exponential inter-arrival time.
@@ -137,6 +148,12 @@ type Job struct {
 	CPU time.Duration
 	// PerformanceLoss applies to interactive jobs.
 	PerformanceLoss int
+	// Nodes is the job's width; 0 means 1 (synthetic generators emit
+	// single-node jobs, trace replays carry the recorded width).
+	Nodes int
+	// TraceID is the originating trace record's job number for
+	// replayed jobs, 0 for synthetic ones.
+	TraceID int64
 }
 
 // Mix generates a stream of jobs.
@@ -189,4 +206,17 @@ func (m *Mix) Next() Job {
 
 func userName(i int) string {
 	return "/O=CrossGrid/CN=user" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+}
+
+// Synthetic adapts an arrival process and a job mix into an endless
+// Stream, so experiments can swap synthetic load and trace replays
+// behind one interface.
+type Synthetic struct {
+	Arrivals Arrivals
+	Mix      *Mix
+}
+
+// Next draws one job and its inter-arrival delay.
+func (s *Synthetic) Next() (Job, time.Duration, bool) {
+	return s.Mix.Next(), s.Arrivals.Next(), true
 }

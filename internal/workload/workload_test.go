@@ -7,7 +7,10 @@ import (
 )
 
 func TestPoissonMeanRate(t *testing.T) {
-	p := NewPoisson(60, 1) // one per minute
+	p, err := NewPoisson(60, 1) // one per minute
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sum time.Duration
 	const n = 5000
 	for i := 0; i < n; i++ {
@@ -23,16 +26,25 @@ func TestPoissonMeanRate(t *testing.T) {
 	}
 }
 
+func mustPoisson(t *testing.T, perHour float64, seed int64) *Poisson {
+	t.Helper()
+	p, err := NewPoisson(perHour, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 func TestPoissonDeterministicPerSeed(t *testing.T) {
-	a, b := NewPoisson(10, 7), NewPoisson(10, 7)
+	a, b := mustPoisson(t, 10, 7), mustPoisson(t, 10, 7)
 	for i := 0; i < 100; i++ {
 		if a.Next() != b.Next() {
 			t.Fatal("same seed diverged")
 		}
 	}
-	c := NewPoisson(10, 8)
+	c := mustPoisson(t, 10, 8)
 	same := true
-	a2 := NewPoisson(10, 7)
+	a2 := mustPoisson(t, 10, 7)
 	for i := 0; i < 100; i++ {
 		if a2.Next() != c.Next() {
 			same = false
@@ -42,6 +54,69 @@ func TestPoissonDeterministicPerSeed(t *testing.T) {
 	if same {
 		t.Fatal("different seeds produced identical streams")
 	}
+}
+
+// TestGeneratorBoundaries pins the zero/negative boundary of every
+// generator constructor: NewPoisson now rejects non-positive rates
+// (the old clamp hid misconfiguration), while the others keep their
+// documented normalizations.
+func TestGeneratorBoundaries(t *testing.T) {
+	t.Run("poisson rejects bad rates", func(t *testing.T) {
+		for _, rate := range []float64{0, -1, -1e9, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			if p, err := NewPoisson(rate, 1); err == nil {
+				t.Fatalf("NewPoisson(%v) = %v, want error", rate, p)
+			}
+		}
+		if _, err := NewPoisson(0.001, 1); err != nil {
+			t.Fatalf("tiny positive rate rejected: %v", err)
+		}
+	})
+	t.Run("uniform normalizes swapped and negative bounds", func(t *testing.T) {
+		cases := []struct {
+			min, max time.Duration
+		}{
+			{0, 0},
+			{-time.Second, time.Second},
+			{time.Second, -time.Second}, // swapped
+			{-3 * time.Second, -time.Second},
+		}
+		for _, c := range cases {
+			u := NewUniform(c.min, c.max, 1)
+			lo, hi := c.min, c.max
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			for i := 0; i < 100; i++ {
+				if d := u.Next(); d < lo || d > hi {
+					t.Fatalf("NewUniform(%v, %v) drew %v outside [%v, %v]", c.min, c.max, d, lo, hi)
+				}
+			}
+		}
+	})
+	t.Run("lognormal clamps non-positive parameters", func(t *testing.T) {
+		for _, c := range []struct {
+			median time.Duration
+			sigma  float64
+		}{{0, 1}, {-time.Hour, 1}, {time.Minute, 0}, {time.Minute, -2}, {0, 0}} {
+			l := NewLogNormal(c.median, c.sigma, 1)
+			for i := 0; i < 100; i++ {
+				if d := l.Sample(); d < time.Millisecond {
+					t.Fatalf("NewLogNormal(%v, %v) drew %v", c.median, c.sigma, d)
+				}
+			}
+		}
+	})
+	t.Run("mix clamps non-positive user population", func(t *testing.T) {
+		m := NewMix(1)
+		m.Users = 0
+		if j := m.Next(); j.User == "" {
+			t.Fatal("empty user with Users=0")
+		}
+		m.Users = -3
+		if j := m.Next(); j.User == "" {
+			t.Fatal("empty user with negative Users")
+		}
+	})
 }
 
 func TestUniformBounds(t *testing.T) {
