@@ -7,6 +7,7 @@
 //	gridbench -exp fig8                 # VM load overhead
 //	gridbench -exp ablations            # design-choice studies
 //	gridbench -exp bench                # matchmaking benchmarks -> JSON
+//	gridbench -exp scale                # infosys scaling sweep -> JSON
 //	gridbench -exp replay -trace f.swf  # replay a recorded workload -> JSON
 //	gridbench -exp all
 //
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, chaos, replay, checktrace, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, scale, chaos, replay, checktrace, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
 	iters := flag.Int("iters", 1000, "loop iterations (fig 8)")
@@ -39,12 +40,16 @@ func main() {
 	seed := flag.Int64("seed", 2006, "randomization seed")
 	benchOut := flag.String("benchout", "BENCH_matchmaking.json", "output path for -exp bench")
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -exp chaos")
-	quick := flag.Bool("quick", false, "shrink -exp chaos for smoke runs")
+	quick := flag.Bool("quick", false, "shrink -exp chaos and -exp scale for smoke runs")
 	traceOut := flag.String("traceout", "", "enable event tracing in -exp chaos and write the logs as JSONL here")
 	traceIn := flag.String("tracein", "", "JSONL event log to verify with -exp checktrace")
 	chromeOut := flag.String("chromeout", "", "also convert -tracein to Chrome trace_event JSON at this path")
 	baseline := flag.String("baseline", "", "committed BENCH_matchmaking.json to compare -exp bench results against")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs -baseline before failing")
+	shards := flag.Int("shards", 16, "information-service shard count for -exp scale")
+	pageSize := flag.Int("pagesize", 0, "discovery page size for -exp scale (0 = infosys default)")
+	scaleOut := flag.String("scaleout", "BENCH_infosys.json", "output path for -exp scale")
+	scaleBaseline := flag.String("scalebaseline", "", "committed BENCH_infosys.json to compare -exp scale results against")
 	tracePath := flag.String("trace", "", "SWF/GWF workload log to drive -exp replay")
 	replayOut := flag.String("replayout", "BENCH_replay.json", "output path for -exp replay")
 	window := flag.String("window", "", "trace window for -exp replay as N:M hours (default whole trace)")
@@ -70,6 +75,9 @@ func main() {
 	run("fig8", func() error { return fig8(*iters, *series) })
 	run("ablations", func() error { return ablations(*scale, *seed) })
 	run("bench", func() error { return bench(*benchOut, *baseline, *tolerance) })
+	run("scale", func() error {
+		return scaleExp(*scaleOut, *scaleBaseline, *shards, *pageSize, *quick, *seed, *tolerance)
+	})
 	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *seed) })
 	// replay needs a workload log and checktrace an existing event
 	// log, so both run only when named explicitly (there is nothing to

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"crossbroker/internal/experiments"
+)
+
+// scaleReport is the BENCH_infosys.json document. Every measurement in
+// it is deterministic — virtual-time pass latencies, counters from the
+// pass itself, minimum-across-passes allocation counts taken on a
+// single scheduler thread with the collector off — so two runs of the
+// same binary produce byte-identical files, which CI checks.
+type scaleReport struct {
+	GeneratedBy string                   `json:"generated_by"`
+	GoVersion   string                   `json:"go_version"`
+	Results     []experiments.ScalePoint `json:"results"`
+}
+
+// scaleExp runs the information-system scaling sweep (-exp scale) and
+// writes BENCH_infosys.json. It fails outright if the paged pass is
+// slower than the whole-snapshot pass at 1,000 sites, and — when a
+// committed baseline is supplied — if any shared point's pass latency
+// grew beyond tolerance (the CI regression gate, same 25% default as
+// the matchmaking benchmarks).
+func scaleExp(out, baseline string, shards, pageSize int, quick bool, seed int64, tolerance float64) error {
+	cfg := experiments.ScaleConfig{Shards: shards, PageSize: pageSize, Seed: seed}
+	if quick {
+		cfg.Points = []int{100, 250, 1000}
+	}
+	pts, err := experiments.ScaleSweep(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Information-system scaling — paged top-K pass vs whole-snapshot pass")
+	fmt.Println(experiments.RenderScale(pts))
+
+	byKey := make(map[string]experiments.ScalePoint, len(pts))
+	for _, p := range pts {
+		byKey[scaleKey(p)] = p
+	}
+	if paged, ok := byKey["paged/sites=1000"]; ok {
+		if snap, ok := byKey["snapshot/sites=1000"]; ok && paged.PassMicros > snap.PassMicros {
+			return fmt.Errorf("scale: paged pass slower than snapshot pass at 1000 sites (%dµs > %dµs)",
+				paged.PassMicros, snap.PassMicros)
+		}
+	}
+
+	rep := scaleReport{
+		GeneratedBy: "gridbench -exp scale",
+		GoVersion:   runtime.Version(),
+		Results:     pts,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if baseline != "" {
+		return compareScale(pts, baseline, tolerance)
+	}
+	return nil
+}
+
+func scaleKey(p experiments.ScalePoint) string {
+	return fmt.Sprintf("%s/sites=%d", p.Mode, p.Sites)
+}
+
+// compareScale loads a committed scaleReport and flags regressions:
+// any point present in both runs whose virtual pass latency grew by
+// more than tolerance fails the comparison. New or removed points are
+// reported but never fail (the gate must not block resizing the sweep).
+func compareScale(results []experiments.ScalePoint, baseline string, tolerance float64) error {
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return err
+	}
+	var base scaleReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("scale: parsing baseline %s: %w", baseline, err)
+	}
+	old := make(map[string]experiments.ScalePoint, len(base.Results))
+	for _, p := range base.Results {
+		old[scaleKey(p)] = p
+	}
+	var regressed []string
+	for _, p := range results {
+		key := scaleKey(p)
+		b, ok := old[key]
+		if !ok {
+			fmt.Printf("  %-24s new point, no baseline\n", key)
+			continue
+		}
+		if b.PassMicros <= 0 {
+			continue
+		}
+		delta := float64(p.PassMicros-b.PassMicros) / float64(b.PassMicros)
+		verdict := "ok"
+		if delta > tolerance {
+			verdict = "REGRESSED"
+			regressed = append(regressed, key)
+		}
+		fmt.Printf("  %-24s %10dµs -> %10dµs (%+.1f%%) %s\n",
+			key, b.PassMicros, p.PassMicros, 100*delta, verdict)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("scale: %d point(s) regressed beyond %.0f%% vs %s: %v",
+			len(regressed), 100*tolerance, baseline, regressed)
+	}
+	fmt.Printf("no regressions beyond %.0f%% vs %s\n", 100*tolerance, baseline)
+	return nil
+}

@@ -158,6 +158,19 @@ type Config struct {
 	// broker notices a dead agent one heartbeat after the loss and
 	// kill-and-resubmits the hosted interactive job (default 10 s).
 	AgentHeartbeat time.Duration
+	// PageSize bounds how many registry records one discovery page
+	// carries: matchmaking streams the information system page by
+	// page instead of materializing one flat snapshot of every site.
+	// 0 (the default) uses infosys.DefaultPageSize; a negative value
+	// selects the pre-paging whole-snapshot pass, kept as the
+	// reference path for equivalence tests.
+	PageSize int
+	// TopK bounds the candidate heap of a streamed matchmaking pass:
+	// only the K best sites by published-state rank are held, probed
+	// and re-ranked, so per-pass memory is O(PageSize + TopK) no
+	// matter how many sites match. 0 (the default) keeps every match,
+	// which reproduces the whole-snapshot pass exactly.
+	TopK int
 	// Trace records per-job lifecycle events (internal/trace). Nil —
 	// the default — disables tracing; instrumented paths then pay one
 	// nil check per potential event.
@@ -311,6 +324,12 @@ type Handle struct {
 	// because they were quarantined or failed their direct probe —
 	// distinguishing "nothing matches" from "matches are all down".
 	unavailable int
+	// scanned counts the registry records the last pass enumerated
+	// (zero means an empty registry, the ErrNoMatch fast-fail); peak
+	// is the most candidates the pass held at once — bounded by
+	// Config.TopK when the streamed pass prunes with a rank heap.
+	scanned int
+	peak    int
 
 	submittedAt time.Time
 	finishedAt  time.Time

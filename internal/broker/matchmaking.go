@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"container/heap"
 	"sort"
 	"time"
 
@@ -20,6 +21,57 @@ type candidate struct {
 	noise  float64 // randomized tie-break
 }
 
+// candBetter orders candidates best first: rank descending, then the
+// seeded tie-break noise, then site name so the order is total.
+func candBetter(a, b *candidate) bool {
+	if a.rank != b.rank {
+		return a.rank > b.rank
+	}
+	if a.noise != b.noise {
+		return a.noise < b.noise
+	}
+	return a.site.Name() < b.site.Name()
+}
+
+// selectionNoise derives a candidate's tie-break noise in [0, 1) from
+// the pass nonce and the site name (FNV-1a). Hashing instead of
+// drawing per candidate makes the noise — and with it the selection
+// outcome — independent of enumeration order, so the streamed
+// (shard-major) and whole-snapshot (name-major) passes pick identical
+// sites for the same seed.
+func selectionNoise(nonce uint64, name string) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (nonce >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return float64(h>>11) / (1 << 53)
+}
+
+// localSnapshot rebuilds the local-registry snapshot for brokers
+// running without an information service. The previous snapshot is
+// threaded through so the schema pointer — and with it each job's
+// compiled-predicate cache — survives rebuilds; records come from
+// site.Record() already private, so the snapshot takes ownership
+// instead of cloning a second time.
+func (b *Broker) localSnapshot() *infosys.Snapshot {
+	recs := make([]infosys.SiteRecord, 0, len(b.sites))
+	for _, s := range b.sites {
+		recs = append(recs, s.Record())
+	}
+	snap := infosys.NewSnapshotOwned(recs, b.lastSnap)
+	b.lastSnap = snap
+	return snap
+}
+
 // discover queries the information system, recording the discovery
 // phase on h. The returned snapshot is immutable and shared between
 // every pass of the current registry epoch. Must run in a simulation
@@ -31,48 +83,173 @@ func (b *Broker) discover(h *Handle) *infosys.Snapshot {
 	if b.cfg.Info != nil {
 		snap = b.cfg.Info.Snapshot()
 	} else {
-		recs := make([]infosys.SiteRecord, 0, len(b.sites))
-		for _, s := range b.sites {
-			recs = append(recs, s.Record())
-		}
-		// Thread the previous snapshot through so the schema pointer —
-		// and with it each job's compiled-predicate cache — survives
-		// rebuilds.
-		snap = infosys.NewSnapshot(recs, b.lastSnap)
-		b.lastSnap = snap
+		snap = b.localSnapshot()
 	}
 	h.Phases.Discovery = b.sim.Since(start)
+	h.scanned = snap.Len()
 	return snap
 }
 
 // probeTask carries one requirement-matched site through the direct
-// state probe: idx is the site's record index in the snapshot, free
-// and queued are filled by probeSites.
+// state probe: idx is the site's record index in snap (the snapshot —
+// whole-grid or per-shard — the record was matched from), free and
+// queued are filled by probeSites, prelim and noise order the
+// streamed pass's top-K heap.
 type probeTask struct {
 	st           *site.Site
+	snap         *infosys.Snapshot
 	idx          int
 	free, queued int
-	ok           bool // direct probe answered (site reachable)
+	ok           bool    // direct probe answered (site reachable)
+	prelim       float64 // published-state rank (top-K heap ordering)
+	noise        float64 // seeded tie-break, shared with the final order
 }
 
-// selection filters the snapshot against the job's compiled
-// Requirements, contacts each surviving site directly for up-to-date
-// queue state (serially or probeWidth-wide, see Config.ProbeWidth),
-// applies leases, ranks (job Rank expression or free CPUs), and orders
-// candidates best first with randomized tie-breaking. A candidate
-// whose Rank evaluation errors is excluded, exactly like a failing
-// Requirements evaluation. The selection phase duration is recorded on
-// h. Must run in a simulation process.
+// probeBetter orders heap entries by preliminary rank descending, then
+// noise, then site name — the same total order candBetter applies
+// after probing.
+func probeBetter(a, b *probeTask) bool {
+	if a.prelim != b.prelim {
+		return a.prelim > b.prelim
+	}
+	if a.noise != b.noise {
+		return a.noise < b.noise
+	}
+	return a.st.Name() < b.st.Name()
+}
+
+// topkHeap is a bounded min-heap of the best K candidates seen so far:
+// the root is the worst kept entry, so a better newcomer replaces it
+// in O(log K).
+type topkHeap []probeTask
+
+func (h topkHeap) Len() int           { return len(h) }
+func (h topkHeap) Less(i, j int) bool { return probeBetter(&h[j], &h[i]) }
+func (h topkHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *topkHeap) Push(x any)        { *h = append(*h, x.(probeTask)) }
+func (h *topkHeap) Pop() any          { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
+
+// matchPass runs one discovery+selection attempt for h. By default the
+// registry streams past page by page (matchStream); Config.PageSize <
+// 0 selects the pre-paging whole-snapshot pass, kept as the reference
+// path. Must run in a simulation process.
+func (b *Broker) matchPass(h *Handle, excluded map[string]bool) []candidate {
+	if b.cfg.PageSize < 0 {
+		snap := b.discover(h)
+		return b.selection(h, snap, excluded)
+	}
+	return b.matchStream(h, excluded)
+}
+
+// matchStream is the paged matchmaking pass: discovery hands back a
+// cursor over per-shard snapshots and each page is filtered against
+// the job's compiled Requirements as it streams past. With TopK > 0
+// only the K best candidates by published-state rank are held (heap),
+// so the pass keeps O(PageSize + K) state no matter how many sites
+// match; with TopK <= 0 every match is kept and the pass reproduces
+// the whole-snapshot selection exactly. Survivors are probed and
+// re-ranked on fresh state by finishSelection. Must run in a
+// simulation process.
+func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
+	h.state = Matching
+	job := h.request.Job
+
+	dstart := b.sim.Now()
+	var cur *infosys.Cursor
+	if b.cfg.Info != nil {
+		cur = b.cfg.Info.Discover(b.cfg.PageSize)
+	} else {
+		cur = b.localSnapshot().Cursor(b.cfg.PageSize)
+	}
+	h.Phases.Discovery = b.sim.Since(dstart)
+
+	sstart := b.sim.Now()
+	nonce := b.rng.Uint64()
+	h.unavailable, h.scanned, h.peak = 0, 0, 0
+	topk := b.cfg.TopK
+	var keep topkHeap
+	for page, ok := cur.Next(); ok; page, ok = cur.Next() {
+		snap := page.Snapshot()
+		// The schema is shared service-wide, so this compiles once per
+		// job and is a cache hit on every later page and pass.
+		req, rank := job.CompiledPredicates(snap.Schema())
+		for i := 0; i < page.Len(); i++ {
+			h.scanned++
+			name := page.Name(i)
+			if excluded[name] {
+				continue
+			}
+			if b.quarantined(name) {
+				h.unavailable++
+				continue
+			}
+			st, ok := b.sites[name]
+			if !ok {
+				continue // stale record for an unregistered site
+			}
+			if req != nil {
+				m := page.MatchAttrs(i)
+				pass, err := req.EvalBool(m.Values())
+				m.Release()
+				if err != nil || !pass {
+					continue
+				}
+			}
+			p := probeTask{st: st, snap: snap, idx: page.Index(i)}
+			if !b.cfg.Deterministic {
+				p.noise = selectionNoise(nonce, name)
+			}
+			if topk > 0 {
+				if rank != nil {
+					m := page.MatchAttrs(i)
+					r, err := rank.EvalNumber(m.Values())
+					m.Release()
+					if err != nil {
+						continue
+					}
+					p.prelim = r
+				} else {
+					p.prelim = float64(page.RecordShared(i).FreeCPUs)
+				}
+				if len(keep) == topk {
+					if probeBetter(&p, &keep[0]) {
+						keep[0] = p
+						heap.Fix(&keep, 0)
+					}
+				} else {
+					heap.Push(&keep, p)
+				}
+			} else {
+				keep = append(keep, p)
+			}
+			if len(keep) > h.peak {
+				h.peak = len(keep)
+			}
+		}
+	}
+	cands := b.finishSelection(h, []probeTask(keep))
+	h.Phases.Selection += b.sim.Since(sstart)
+	return cands
+}
+
+// selection is the whole-snapshot matchmaking pass: it filters the
+// full snapshot against the job's compiled Requirements and hands the
+// matches to finishSelection for probing and ranking. The streamed
+// pass (matchStream) replaces it on the hot path; it remains the
+// reference implementation and the equivalence-test oracle. Must run
+// in a simulation process.
 func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[string]bool) []candidate {
 	start := b.sim.Now()
 	defer func() { h.Phases.Selection += b.sim.Since(start) }()
 
 	job := h.request.Job
-	req, rank := job.CompiledPredicates(snap.Schema())
+	req, _ := job.CompiledPredicates(snap.Schema())
+	nonce := b.rng.Uint64()
 
 	// Phase 1: requirements filtering against published attributes.
 	// Pure computation — no simulated time passes.
 	h.unavailable = 0
+	h.scanned = snap.Len()
 	kept := make([]probeTask, 0, snap.Len())
 	for i := 0; i < snap.Len(); i++ {
 		name := snap.Name(i)
@@ -95,15 +272,36 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 				continue
 			}
 		}
-		kept = append(kept, probeTask{st: st, idx: i})
+		p := probeTask{st: st, snap: snap, idx: i}
+		if !b.cfg.Deterministic {
+			p.noise = selectionNoise(nonce, name)
+		}
+		kept = append(kept, p)
 	}
+	h.peak = len(kept)
+	return b.finishSelection(h, kept)
+}
 
-	// Phase 2: "Information may not be completely accurate ...
-	// CrossBroker contacts each remote site individually and gets the
-	// most updated information about the state of their local queues."
+// finishSelection contacts each kept site directly for up-to-date
+// queue state (serially or probeWidth-wide, see Config.ProbeWidth),
+// applies leases, ranks the survivors on the fresh state (job Rank
+// expression or free CPUs), and orders candidates best first with the
+// seeded tie-break. A candidate whose Rank evaluation errors is
+// excluded, exactly like a failing Requirements evaluation. Shared by
+// the streamed and whole-snapshot passes; must run in a simulation
+// process.
+func (b *Broker) finishSelection(h *Handle, kept []probeTask) []candidate {
+	// Probe in site-name order no matter how the pass enumerated its
+	// matches (whole snapshot, shard-major stream, top-K heap): probes
+	// spend simulated time, so a stable order keeps lease expiries and
+	// concurrent passes interleaving identically across paths.
+	sort.Slice(kept, func(i, j int) bool { return kept[i].st.Name() < kept[j].st.Name() })
+	// "Information may not be completely accurate ... CrossBroker
+	// contacts each remote site individually and gets the most updated
+	// information about the state of their local queues."
 	b.probeSites(kept)
 
-	// Phase 3: ranking and ordering. Pure computation again.
+	job := h.request.Job
 	cands := make([]candidate, 0, len(kept))
 	for _, p := range kept {
 		if !p.ok {
@@ -112,20 +310,15 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 			h.unavailable++
 			continue
 		}
-		c := candidate{site: p.st, free: p.free, queued: p.queued, noise: b.rng.Float64()}
-		if b.cfg.Deterministic {
-			c.noise = float64(len(cands)) // stable record order
-		}
+		c := candidate{site: p.st, free: p.free, queued: p.queued, noise: p.noise}
+		_, rank := job.CompiledPredicates(p.snap.Schema())
 		if rank != nil {
-			m := snap.MatchAttrs(p.idx)
+			m := p.snap.MatchAttrs(p.idx)
 			m.SetFloat(infosys.AttrFreeCPUs, float64(p.free))
 			m.SetFloat(infosys.AttrQueuedJobs, float64(p.queued))
 			r, err := rank.EvalNumber(m.Values())
 			m.Release()
 			if err != nil {
-				// A Rank that cannot be evaluated on this machine
-				// excludes it, like a failing Requirements; otherwise
-				// the site would silently compete with rank 0.
 				continue
 			}
 			c.rank = r
@@ -134,15 +327,11 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 		}
 		cands = append(cands, c)
 	}
-	// Best rank first; equal ranks in random order (the paper's
+	// Best rank first; equal ranks in seeded-noise order (the paper's
 	// randomized selection "to generate different answers when there
-	// are multiple resource choices").
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].rank != cands[j].rank {
-			return cands[i].rank > cands[j].rank
-		}
-		return cands[i].noise < cands[j].noise
-	})
+	// are multiple resource choices"); in Deterministic mode all noise
+	// is zero and ties resolve by site name.
+	sort.Slice(cands, func(i, j int) bool { return candBetter(&cands[i], &cands[j]) })
 	return cands
 }
 
@@ -215,8 +404,39 @@ func (b *Broker) probeSites(tasks []probeTask) {
 // use it to measure the pipeline end to end.
 func (b *Broker) SelectionPass(job *jdl.Job) int {
 	h := &Handle{request: Request{Job: job}}
-	snap := b.discover(h)
-	return len(b.selection(h, snap, nil))
+	return len(b.matchPass(h, nil))
+}
+
+// PassStats describes one matchmaking pass for instrumentation (the
+// scale sweep and benchmarks).
+type PassStats struct {
+	// Scanned counts the registry records the pass enumerated.
+	Scanned int
+	// Candidates is the number of ordered candidates returned.
+	Candidates int
+	// Peak is the most candidates the pass held at once — the pass's
+	// memory high-water mark, bounded by Config.TopK when set.
+	Peak int
+	// Unavailable counts matches skipped as quarantined or probe-dead.
+	Unavailable int
+	// Discovery and Selection are the simulated phase durations.
+	Discovery, Selection time.Duration
+}
+
+// SelectionPassStats runs one matchmaking pass for job and reports its
+// instrumentation counters and simulated phase durations. Must be
+// called from a simulation process.
+func (b *Broker) SelectionPassStats(job *jdl.Job) PassStats {
+	h := &Handle{request: Request{Job: job}}
+	cands := b.matchPass(h, nil)
+	return PassStats{
+		Scanned:     h.scanned,
+		Candidates:  len(cands),
+		Peak:        h.peak,
+		Unavailable: h.unavailable,
+		Discovery:   h.Phases.Discovery,
+		Selection:   h.Phases.Selection,
+	}
 }
 
 // leaseEntry is a batch of leases sharing one expiry instant.

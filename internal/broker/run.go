@@ -103,12 +103,12 @@ func (b *Broker) runBatch(h *Handle) {
 		return
 	}
 	job := h.request.Job
-	snap := b.discover(h)
-	if snap.Len() == 0 {
+	cands := b.matchPass(h, nil)
+	if h.scanned == 0 {
+		// Empty registry: nothing to match, now or later.
 		b.fail(h, ErrNoMatch)
 		return
 	}
-	cands := b.selection(h, snap, nil)
 	if len(cands) == 0 {
 		if h.unavailable > 0 {
 			// Matching sites exist but are quarantined or unreachable
@@ -264,8 +264,7 @@ func (b *Broker) wireAgent(agent *glidein.Agent, st *site.Site) {
 
 func (b *Broker) runInteractiveExclusive(h *Handle) {
 	job := h.request.Job
-	snap := b.discover(h)
-	cands := b.selection(h, snap, nil)
+	cands := b.matchPass(h, nil)
 	if len(cands) == 0 {
 		b.fail(h, ErrNoMatch)
 		return
@@ -513,8 +512,7 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 		// Fill the shortfall with fresh agents on idle machines, "in a
 		// similar way to the case of a batch job".
 		if len(chosen) < need {
-			snap := b.discover(h)
-			cands := b.selection(h, snap, nil)
+			cands := b.matchPass(h, nil)
 			for i := range cands {
 				for len(chosen) < need && cands[i].free > 0 {
 					// No TraceJob: the agent's 2PC is labeled by its own

@@ -19,11 +19,13 @@ import (
 
 	"crossbroker/internal/broker"
 	"crossbroker/internal/fairshare"
+	"crossbroker/internal/faultinject"
 	"crossbroker/internal/infosys"
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/netsim"
 	"crossbroker/internal/simclock"
 	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
 )
 
 // SiteSpec describes one site of a simulated grid.
@@ -47,8 +49,23 @@ type SystemConfig struct {
 	// InfoLatency is the one-way latency to the information index
 	// (default 250 ms, the paper's index lived in Germany).
 	InfoLatency time.Duration
+	// InfoShards splits the information service's registry into hash
+	// shards (default 1, the classic monolithic index). Thousands-of-
+	// sites grids shard so a site's publish invalidates only its own
+	// shard's snapshot; the broker then pages discovery shard by shard
+	// (see Broker.PageSize for the page size).
+	InfoShards int
 	// Seed drives randomized selection.
 	Seed int64
+	// Trace enables system-wide event tracing: NewSystem creates one
+	// trace.Tracer on the simulation clock and threads it through
+	// every component — broker, sites, glide-in agents and (via
+	// NewFaultInjector) fault injection — so a whole run exports as
+	// one timeline, exposed as System.Tracer. Pass System.Tracer as
+	// SessionConfig.Trace to interleave a console session's events.
+	// Supplying Broker.Trace directly also works; System.Tracer then
+	// aliases it.
+	Trace bool
 	// Broker optionally tunes the broker beyond defaults; Sim, Info
 	// and Fair are filled in by NewSystem.
 	Broker broker.Config
@@ -68,6 +85,9 @@ type System struct {
 	Broker *broker.Broker
 	// Sites are the grid sites, in specification order.
 	Sites []*site.Site
+	// Tracer is the system-wide event tracer (nil when tracing is
+	// off); its Events/WriteJSONL export the unified timeline.
+	Tracer *trace.Tracer
 }
 
 // NewSystem builds a grid per cfg.
@@ -81,7 +101,7 @@ func NewSystem(cfg SystemConfig) *System {
 		cfg.InfoLatency = 250 * time.Millisecond
 	}
 	sim := simclock.NewSim(time.Time{})
-	info := infosys.New(sim, cfg.InfoLatency)
+	info := infosys.NewSharded(sim, cfg.InfoLatency, cfg.InfoShards)
 	fair := fairshare.New(sim, cfg.FairShare)
 	fair.Start()
 
@@ -90,9 +110,12 @@ func NewSystem(cfg SystemConfig) *System {
 	bcfg.Info = info
 	bcfg.Fair = fair
 	bcfg.Seed = cfg.Seed
+	if cfg.Trace && bcfg.Trace == nil {
+		bcfg.Trace = trace.New(sim.Now)
+	}
 	b := broker.New(bcfg)
 
-	sys := &System{Sim: sim, Info: info, Fair: fair, Broker: b}
+	sys := &System{Sim: sim, Info: info, Fair: fair, Broker: b, Tracer: bcfg.Trace}
 	for _, spec := range cfg.Sites {
 		profile := netsim.CampusGrid()
 		if spec.WideArea {
@@ -109,6 +132,22 @@ func NewSystem(cfg SystemConfig) *System {
 		sys.Sites = append(sys.Sites, st)
 	}
 	return sys
+}
+
+// NewFaultInjector builds a fault injector wired to the whole system:
+// every site, the information service (partitions), the broker's agent
+// registry (agent kills) and the system tracer. Call inj.Start with a
+// schedule to begin injecting; the injected faults land on the same
+// timeline as the broker's and sites' events.
+func (s *System) NewFaultInjector(seed int64) *faultinject.Injector {
+	inj := faultinject.New(s.Sim, seed)
+	for _, st := range s.Sites {
+		inj.AddSite(st)
+	}
+	inj.SetInfosys(s.Info)
+	inj.SetAgentKiller(s.Broker)
+	inj.SetTracer(s.Tracer)
+	return inj
 }
 
 // SubmitJDL parses a JDL document and submits the job for user,

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"crossbroker/internal/broker"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/metrics"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+)
+
+// ScaleConfig parametrizes the information-system scaling sweep: how
+// matchmaking-pass latency and memory behave as the grid grows from
+// hundreds to thousands of sites, with the registry sharded and
+// discovery paged versus the classic single-snapshot pass.
+type ScaleConfig struct {
+	// Points are the grid sizes to measure (default 100, 250, 500,
+	// 1000, 2500, 5000).
+	Points []int
+	// Shards is the information-service shard count for the paged
+	// cells (default 16).
+	Shards int
+	// PageSize is the discovery page size for the paged cells
+	// (default infosys.DefaultPageSize).
+	PageSize int
+	// TopK bounds the paged pass's candidate heap (default 16).
+	TopK int
+	// Passes is the number of measured matchmaking passes per cell
+	// (default 5); pass latency is identical across passes (virtual
+	// time) and allocations are reported as the minimum observed.
+	Passes int
+	// Seed drives the broker's randomized selection.
+	Seed int64
+}
+
+func (c *ScaleConfig) setDefaults() {
+	if len(c.Points) == 0 {
+		c.Points = []int{100, 250, 500, 1000, 2500, 5000}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = infosys.DefaultPageSize
+	}
+	if c.TopK <= 0 {
+		c.TopK = 16
+	}
+	if c.Passes <= 0 {
+		c.Passes = 5
+	}
+}
+
+// ScalePoint is one measured cell of the sweep. Every field is
+// deterministic for a fixed configuration: latencies are virtual time,
+// counters come from the pass itself, and allocations are the minimum
+// across passes measured with the collector pinned off on one
+// scheduler thread.
+type ScalePoint struct {
+	// Sites is the grid size.
+	Sites int `json:"sites"`
+	// Mode is "paged" (sharded registry, streamed top-K selection) or
+	// "snapshot" (the classic whole-grid pass, the baseline).
+	Mode string `json:"mode"`
+	// Shards, PageSize and TopK echo the cell configuration (1/-1/0
+	// for snapshot mode).
+	Shards   int `json:"shards"`
+	PageSize int `json:"page_size"`
+	TopK     int `json:"top_k"`
+	// PassMicros is one matchmaking pass's virtual-time latency
+	// (discovery + selection) in microseconds.
+	PassMicros int64 `json:"pass_micros"`
+	// DiscoveryMicros is the discovery share of PassMicros.
+	DiscoveryMicros int64 `json:"discovery_micros"`
+	// AllocsPerPass is the minimum heap allocations one pass cost.
+	AllocsPerPass uint64 `json:"allocs_per_pass"`
+	// PeakCandidates is the most candidates the pass held at once —
+	// the per-pass memory high-water mark the top-K heap bounds.
+	PeakCandidates int `json:"peak_candidates"`
+	// Scanned counts registry records enumerated per pass.
+	Scanned int `json:"scanned"`
+	// Candidates is the ordered candidate count the pass returned.
+	Candidates int `json:"candidates"`
+}
+
+// scaleJob is the representative job the sweep matches: a string
+// Requirements over published attributes; default ranking (free CPUs)
+// so every site ties and the tie-break and heap are exercised.
+func scaleJob() (*jdl.Job, error) {
+	return jdl.ParseJob(`
+Executable   = "scaleprobe";
+JobType      = {"interactive", "sequential"};
+Requirements = other.OS == "linux" && other.MemoryMB >= 256;
+`)
+}
+
+// ScaleSweep measures matchmaking passes over grids of cfg.Points
+// sites, in paged mode (sharded registry, paged discovery, top-K rank
+// heap) and snapshot mode (the pre-sharding whole-grid pass) — the
+// -exp scale experiment behind BENCH_infosys.json. Cells run
+// sequentially: allocation accounting is process-global, and
+// determinism (byte-identical output across runs) is part of the
+// contract.
+func ScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
+	cfg.setDefaults()
+	job, err := scaleJob()
+	if err != nil {
+		return nil, err
+	}
+	var out []ScalePoint
+	for _, n := range cfg.Points {
+		paged, err := scaleCell(cfg, job, n, true)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := scaleCell(cfg, job, n, false)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, paged, snap)
+	}
+	return out, nil
+}
+
+// scaleCell measures one (sites, mode) cell on a fresh grid.
+func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, error) {
+	pt := ScalePoint{Sites: n, Mode: "snapshot", Shards: 1, PageSize: -1}
+	bcfg := broker.Config{Seed: cfg.Seed, PageSize: -1}
+	shards := 1
+	if paged {
+		pt.Mode, pt.Shards, pt.PageSize, pt.TopK = "paged", cfg.Shards, cfg.PageSize, cfg.TopK
+		bcfg.PageSize, bcfg.TopK = cfg.PageSize, cfg.TopK
+		shards = cfg.Shards
+	}
+
+	sim := simclock.NewSim(time.Time{})
+	bcfg.Sim = sim
+	bcfg.Info = infosys.NewSharded(sim, 500*time.Millisecond, shards)
+	b := broker.New(bcfg)
+	for i := 0; i < n; i++ {
+		b.RegisterSite(site.New(sim, site.Config{
+			Name:    fmt.Sprintf("site%04d", i),
+			Nodes:   4,
+			Network: netsim.WideArea(),
+			Costs:   site.DefaultCosts(),
+			// Keep republish events out of the measured passes.
+			PublishInterval: 10000 * time.Hour,
+			Attrs:           map[string]any{"Arch": "x86_64", "OS": "linux", "MemoryMB": 512 + i%1024},
+		}))
+	}
+	sim.RunFor(time.Minute) // let the initial publishes land
+
+	runPass := func() (broker.PassStats, error) {
+		var st broker.PassStats
+		done := sim.NewTrigger()
+		sim.Go(func() { st = b.SelectionPassStats(job); done.Fire() })
+		sim.RunFor(48 * time.Hour)
+		if !done.Fired() {
+			return st, fmt.Errorf("experiments: scale pass did not complete (%d sites)", n)
+		}
+		return st, nil
+	}
+
+	// Warm up: compile the job's predicates, build the shard
+	// snapshots, fill the attribute-vector pool.
+	for i := 0; i < 2; i++ {
+		if _, err := runPass(); err != nil {
+			return pt, err
+		}
+	}
+
+	// Measured passes. One scheduler thread and a pinned-off collector
+	// make the allocation count reproducible (sync.Pool hits stop
+	// depending on P migration, no mid-pass GC empties the pools);
+	// virtual-time latency is deterministic by construction.
+	prevProcs := runtime.GOMAXPROCS(1)
+	runtime.GC()
+	prevGC := debug.SetGCPercent(-1)
+	allocs := ^uint64(0)
+	var stats broker.PassStats
+	var err error
+	for p := 0; p < cfg.Passes; p++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		stats, err = runPass()
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			break
+		}
+		if d := after.Mallocs - before.Mallocs; d < allocs {
+			allocs = d
+		}
+	}
+	debug.SetGCPercent(prevGC)
+	runtime.GOMAXPROCS(prevProcs)
+	if err != nil {
+		return pt, err
+	}
+
+	pt.PassMicros = (stats.Discovery + stats.Selection).Microseconds()
+	pt.DiscoveryMicros = stats.Discovery.Microseconds()
+	pt.AllocsPerPass = allocs
+	pt.PeakCandidates = stats.Peak
+	pt.Scanned = stats.Scanned
+	pt.Candidates = stats.Candidates
+	return pt, nil
+}
+
+// RenderScale formats the sweep like the paper's tables: one row per
+// (sites, mode) cell, paged and snapshot side by side.
+func RenderScale(points []ScalePoint) string {
+	t := metrics.NewTable("Sites", "Mode", "Pass (virtual)", "Peak cands", "Allocs/pass", "Scanned")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Sites),
+			p.Mode,
+			(time.Duration(p.PassMicros) * time.Microsecond).String(),
+			fmt.Sprintf("%d", p.PeakCandidates),
+			fmt.Sprintf("%d", p.AllocsPerPass),
+			fmt.Sprintf("%d", p.Scanned),
+		)
+	}
+	return t.String()
+}

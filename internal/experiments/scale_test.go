@@ -1,0 +1,52 @@
+package experiments
+
+import "testing"
+
+// TestScalePassMemoryBounded is the scale sweep's acceptance check at
+// the 5,000-site point: the paged pass's per-pass state and allocations
+// stay bounded by page size + K while the snapshot pass grows with the
+// grid, and the paged pass is no slower.
+func TestScalePassMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5000-site sweep in -short mode")
+	}
+	cfg := ScaleConfig{Points: []int{5000}, Shards: 16, PageSize: 256, TopK: 16, Passes: 2, Seed: 2006}
+	pts, err := ScaleSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("sweep returned %d points, want paged + snapshot", len(pts))
+	}
+	var paged, snap ScalePoint
+	for _, p := range pts {
+		switch p.Mode {
+		case "paged":
+			paged = p
+		case "snapshot":
+			snap = p
+		}
+	}
+	if paged.Scanned != 5000 || snap.Scanned != 5000 {
+		t.Fatalf("passes scanned %d/%d records, want 5000", paged.Scanned, snap.Scanned)
+	}
+
+	bound := uint64(cfg.PageSize + cfg.TopK)
+	if paged.AllocsPerPass > bound {
+		t.Fatalf("paged pass allocated %d objects at 5000 sites, want <= page size + K = %d",
+			paged.AllocsPerPass, bound)
+	}
+	if paged.PeakCandidates != cfg.TopK {
+		t.Fatalf("paged pass held %d candidates at peak, want TopK = %d", paged.PeakCandidates, cfg.TopK)
+	}
+	if snap.PeakCandidates != 5000 {
+		t.Fatalf("snapshot pass held %d candidates at peak, want all 5000", snap.PeakCandidates)
+	}
+	if snap.AllocsPerPass <= bound {
+		t.Fatalf("snapshot pass allocated only %d objects — the comparison lost its contrast", snap.AllocsPerPass)
+	}
+	if paged.PassMicros > snap.PassMicros {
+		t.Fatalf("paged pass slower than snapshot pass at 5000 sites: %dµs > %dµs",
+			paged.PassMicros, snap.PassMicros)
+	}
+}

@@ -1,0 +1,246 @@
+package infosys
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"crossbroker/internal/simclock"
+)
+
+// publishN registers n sites named site%03d with a coherent payload.
+func publishN(s *Service, n int) {
+	for i := 0; i < n; i++ {
+		s.Publish(SiteRecord{
+			Name:     fmt.Sprintf("site%03d", i),
+			Attrs:    map[string]any{"OS": "linux", "Gen": 0},
+			FreeCPUs: 0, TotalCPUs: 4,
+		})
+	}
+}
+
+// TestCursorCoversRegistry checks the basic paging contract: a full
+// traversal visits every record exactly once, in ascending name order
+// within each shard, on pages no larger than requested, with every
+// page of a shard backed by the same pinned snapshot.
+func TestCursorCoversRegistry(t *testing.T) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		svc := NewSharded(simclock.Real(), 0, shards)
+		publishN(svc, 50) // fewer sites than 64 shards leaves some empty
+		seen := make(map[string]int)
+		pinned := make(map[int]*Snapshot)
+		lastName := make(map[int]string)
+		for c := svc.DiscoverImmediate(7); ; {
+			p, ok := c.Next()
+			if !ok {
+				break
+			}
+			if p.Len() == 0 || p.Len() > 7 {
+				t.Fatalf("shards=%d: page of %d records (page size 7)", shards, p.Len())
+			}
+			if prev, ok := pinned[p.Shard()]; ok && prev != p.Snapshot() {
+				t.Fatalf("shards=%d: shard %d changed snapshots mid-traversal", shards, p.Shard())
+			}
+			pinned[p.Shard()] = p.Snapshot()
+			for i := 0; i < p.Len(); i++ {
+				name := p.Name(i)
+				seen[name]++
+				if last := lastName[p.Shard()]; last != "" && name <= last {
+					t.Fatalf("shards=%d: shard %d out of order: %q after %q", shards, p.Shard(), name, last)
+				}
+				lastName[p.Shard()] = name
+				if r := p.RecordShared(i); r.Name != name {
+					t.Fatalf("RecordShared(%d) = %q, want %q", i, r.Name, name)
+				}
+			}
+		}
+		if len(seen) != 50 {
+			t.Fatalf("shards=%d: traversal saw %d distinct sites, want 50", shards, len(seen))
+		}
+		for name, n := range seen {
+			if n != 1 {
+				t.Fatalf("shards=%d: %s visited %d times", shards, name, n)
+			}
+		}
+	}
+}
+
+// TestCursorConsistentUnderChurn runs paged traversals concurrently
+// with publishers rewriting and adding/removing records. Within a shard
+// a traversal must see one consistent epoch: no duplicates, no torn
+// records (FreeCPUs and the Gen attribute are always published
+// together), and no omissions of the stable sites that are never
+// removed. Run under -race this also proves the shard locking sound.
+func TestCursorConsistentUnderChurn(t *testing.T) {
+	const (
+		shards  = 8
+		stable  = 96
+		churn   = 48
+		writers = 4
+		readers = 4
+		rounds  = 60
+	)
+	svc := NewSharded(simclock.Real(), 0, shards)
+	for i := 0; i < stable; i++ {
+		svc.Publish(SiteRecord{
+			Name:     fmt.Sprintf("stable%03d", i),
+			Attrs:    map[string]any{"Gen": 0},
+			FreeCPUs: 0, TotalCPUs: 4,
+		})
+	}
+
+	stop := make(chan struct{})
+	var writerWG, readerWG sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for g := 1; ; g++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Rewrite a stable site with a coherent (FreeCPUs, Gen)
+				// pair and churn a transient one.
+				i := (g*7 + w) % stable
+				svc.Publish(SiteRecord{
+					Name:     fmt.Sprintf("stable%03d", i),
+					Attrs:    map[string]any{"Gen": g},
+					FreeCPUs: g, TotalCPUs: 4,
+				})
+				j := (g*5 + w) % churn
+				if g%2 == 0 {
+					svc.Publish(SiteRecord{
+						Name:     fmt.Sprintf("churn%03d", j),
+						Attrs:    map[string]any{"Gen": g},
+						FreeCPUs: g, TotalCPUs: 4,
+					})
+				} else {
+					svc.Remove(fmt.Sprintf("churn%03d", j))
+				}
+			}
+		}()
+	}
+
+	var fail sync.Once
+	var failure error
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for round := 0; round < rounds; round++ {
+				seen := make(map[string]bool)
+				stableSeen := 0
+				for c := svc.DiscoverImmediate(13); ; {
+					p, ok := c.Next()
+					if !ok {
+						break
+					}
+					for i := 0; i < p.Len(); i++ {
+						rec := p.RecordShared(i)
+						if seen[rec.Name] {
+							fail.Do(func() { failure = fmt.Errorf("duplicate %s in one traversal", rec.Name) })
+							return
+						}
+						seen[rec.Name] = true
+						if gen, _ := rec.Attrs["Gen"].(int); gen != rec.FreeCPUs {
+							fail.Do(func() {
+								failure = fmt.Errorf("torn record %s: FreeCPUs %d, Gen %v", rec.Name, rec.FreeCPUs, rec.Attrs["Gen"])
+							})
+							return
+						}
+						if len(rec.Name) >= 6 && rec.Name[:6] == "stable" {
+							stableSeen++
+						}
+					}
+				}
+				if stableSeen != stable {
+					fail.Do(func() { failure = fmt.Errorf("traversal saw %d stable sites, want %d", stableSeen, stable) })
+					return
+				}
+			}
+		}()
+	}
+
+	// The readers bound the test: the writers churn until every reader
+	// finishes its rounds, a watchdog catches a hang.
+	watchdog := time.AfterFunc(60*time.Second, func() {
+		fail.Do(func() { failure = fmt.Errorf("churn test wedged") })
+		close(stop)
+	})
+	readerWG.Wait()
+	if watchdog.Stop() {
+		close(stop)
+	}
+	writerWG.Wait()
+	if failure != nil {
+		t.Fatal(failure)
+	}
+}
+
+// TestCursorObservesRemove pins shard snapshots lazily: records removed
+// before a shard is first reached are absent, while a shard already
+// pinned keeps serving its epoch — the documented loose cross-shard
+// consistency.
+func TestCursorObservesRemove(t *testing.T) {
+	svc := NewSharded(simclock.Real(), 0, 4)
+	publishN(svc, 40)
+	c := svc.DiscoverImmediate(5)
+	p, ok := c.Next()
+	if !ok {
+		t.Fatal("empty first page")
+	}
+	firstShard := p.Shard()
+	pinnedLen := p.Snapshot().Len()
+
+	// Remove every site; the pinned shard must keep its view, and
+	// shards not yet reached must come back empty.
+	for i := 0; i < 40; i++ {
+		svc.Remove(fmt.Sprintf("site%03d", i))
+	}
+	total := p.Len()
+	for {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		if p.Shard() != firstShard {
+			t.Fatalf("page from shard %d after removal, want only pinned shard %d", p.Shard(), firstShard)
+		}
+		total += p.Len()
+	}
+	if total != pinnedLen {
+		t.Fatalf("pinned shard yielded %d records, want its full epoch %d", total, pinnedLen)
+	}
+	if got := svc.SnapshotImmediate().Len(); got != 0 {
+		t.Fatalf("registry still has %d records after removals", got)
+	}
+}
+
+// TestCursorSnapshotStandalone pages a single snapshot (the broker's
+// registry-less fallback) with the same coverage contract.
+func TestCursorSnapshotStandalone(t *testing.T) {
+	recs := make([]SiteRecord, 23)
+	for i := range recs {
+		recs[i] = SiteRecord{Name: fmt.Sprintf("s%02d", i), Attrs: map[string]any{"OS": "linux"}}
+	}
+	snap := NewSnapshot(recs, nil)
+	var names []string
+	for c := snap.Cursor(10); ; {
+		p, ok := c.Next()
+		if !ok {
+			break
+		}
+		for i := 0; i < p.Len(); i++ {
+			names = append(names, p.Name(i))
+		}
+	}
+	if len(names) != 23 || !sort.StringsAreSorted(names) {
+		t.Fatalf("standalone cursor yielded %d names (sorted=%v), want all 23 in order",
+			len(names), sort.StringsAreSorted(names))
+	}
+}

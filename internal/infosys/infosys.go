@@ -23,10 +23,21 @@
 // shared Schema, which is what the compiled JDL predicates (package
 // jdl) index into, via MatchAttrs vectors recycled through a
 // sync.Pool.
+//
+// To scale past a monolithic index the registry is hash-sharded
+// (NewSharded): each shard keeps its own records, epoch and
+// copy-on-write snapshot, so a publish invalidates — and a rebuild
+// pays for — only one shard, while every shard snapshot is laid out
+// against one service-wide Schema so compiled predicates stay cached
+// across the whole grid. Brokers that cannot afford one flat snapshot
+// of every site iterate the registry page by page through Discover
+// (discover.go); the merged whole-grid Snapshot remains available for
+// small grids and as the reference path.
 package infosys
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 	"sync"
@@ -196,26 +207,38 @@ func newSnapshot(epoch uint64, recs []SiteRecord, prev *Snapshot) *Snapshot {
 		schema = newSchema(names)
 	}
 
+	return buildSnapshot(epoch, recs, schema)
+}
+
+// buildSnapshot lays recs — already private to the snapshot and sorted
+// by name — out against the given schema.
+func buildSnapshot(epoch uint64, recs []SiteRecord, schema *Schema) *Snapshot {
 	s := &Snapshot{epoch: epoch, schema: schema, recs: recs, vals: make([][]any, len(recs))}
 	for i, r := range recs {
-		v := make([]any, schema.Len())
-		for k, raw := range r.Attrs {
-			if off, ok := schema.Offset(k); ok {
-				v[off] = normalizeAttr(raw)
-			}
-		}
-		if off, ok := schema.Offset(AttrTotalCPUs); ok {
-			v[off] = float64(r.TotalCPUs)
-		}
-		if off, ok := schema.Offset(AttrFreeCPUs); ok {
-			v[off] = float64(r.FreeCPUs)
-		}
-		if off, ok := schema.Offset(AttrQueuedJobs); ok {
-			v[off] = float64(r.QueuedJobs)
-		}
-		s.vals[i] = v
+		s.vals[i] = valsFor(r, schema)
 	}
 	return s
+}
+
+// valsFor flattens one record's attributes (static plus publish-time
+// queue state) into a value slice in schema offset order.
+func valsFor(r SiteRecord, schema *Schema) []any {
+	v := make([]any, schema.Len())
+	for k, raw := range r.Attrs {
+		if off, ok := schema.Offset(k); ok {
+			v[off] = normalizeAttr(raw)
+		}
+	}
+	if off, ok := schema.Offset(AttrTotalCPUs); ok {
+		v[off] = float64(r.TotalCPUs)
+	}
+	if off, ok := schema.Offset(AttrFreeCPUs); ok {
+		v[off] = float64(r.FreeCPUs)
+	}
+	if off, ok := schema.Offset(AttrQueuedJobs); ok {
+		v[off] = float64(r.QueuedJobs)
+	}
+	return v
 }
 
 // NewSnapshot builds a standalone snapshot from records — for brokers
@@ -232,6 +255,18 @@ func NewSnapshot(recs []SiteRecord, prev *Snapshot) *Snapshot {
 		epoch = prev.epoch + 1
 	}
 	return newSnapshot(epoch, cloned, prev)
+}
+
+// NewSnapshotOwned is NewSnapshot without the defensive copy: the
+// caller hands recs — and their Attrs maps — over to the snapshot and
+// must not touch them afterwards. Brokers rebuilding local snapshots
+// from records they just materialized use it to avoid cloning twice.
+func NewSnapshotOwned(recs []SiteRecord, prev *Snapshot) *Snapshot {
+	var epoch uint64
+	if prev != nil {
+		epoch = prev.epoch + 1
+	}
+	return newSnapshot(epoch, recs, prev)
 }
 
 // normalizeAttr converts integer attribute values to float64 (the JDL
@@ -274,6 +309,14 @@ func (s *Snapshot) Name(i int) string { return s.recs[i].Name }
 // Record returns a deep copy of record i, so mutations cannot reach
 // the snapshot or the registry.
 func (s *Snapshot) Record(i int) SiteRecord { return s.recs[i].Clone() }
+
+// RecordShared returns record i without copying. The record — its
+// Attrs map included — stays shared with the snapshot (and through it
+// with every other reader) and MUST NOT be mutated. The paged
+// discovery hot path reads through this accessor to keep per-site map
+// allocations off each matchmaking pass; callers that need to mutate
+// use Record.
+func (s *Snapshot) RecordShared(i int) SiteRecord { return s.recs[i] }
 
 // Records returns deep copies of all records, sorted by site name.
 func (s *Snapshot) Records() []SiteRecord {
@@ -367,32 +410,94 @@ func (m *MatchAttrs) Release() {
 	matchAttrsPool.Put(m)
 }
 
-// Service is the information index (the GIIS).
+// Service is the information index (the GIIS). Records are
+// hash-sharded by site name: each shard keeps its own registry map,
+// epoch and copy-on-write snapshot, so a publish invalidates — and the
+// next query re-lays-out — only one shard, while the attribute Schema
+// is shared service-wide so compiled JDL predicates stay cached across
+// shards and epochs. New builds the classic single-shard (monolithic)
+// index; NewSharded builds an N-shard one for thousands-of-sites grids
+// paged through Discover.
 type Service struct {
 	clock        simclock.Clock
 	queryLatency time.Duration
+	shards       []*shard
 
+	mu    sync.Mutex
+	epoch uint64 // global generation: one bump per effective mutation
+	count int    // total records across all shards
+
+	// Shared-schema bookkeeping: how many live records carry each
+	// static attribute (lower-cased) and the canonical spelling to use
+	// for it. schema is invalidated (nil) only when the attribute name
+	// set changes, so its pointer — the compiled-predicate cache key —
+	// survives ordinary republishes.
+	attrCount map[string]int
+	attrCanon map[string]string
+	schema    *Schema
+
+	// merged caches the whole-grid snapshot (every shard's snapshot
+	// concatenated and re-sorted by name), valid while mergedEpoch
+	// matches epoch.
+	merged      *Snapshot
+	mergedEpoch uint64
+
+	// partitioned freezes the served view: while set, queries are
+	// answered from the snapshots taken at partition start even though
+	// sites keep publishing. Models a network partition between the
+	// broker and the index (or a wedged GIIS serving stale registrations).
+	partitioned  bool
+	frozenShards []*Snapshot
+	frozenMerged *Snapshot
+}
+
+// shard is one hash partition of the registry. Lock ordering: shard.mu
+// may be held while taking Service.mu (Publish/Remove update the
+// shared attribute counts under both); Service.mu is never held while
+// taking a shard lock.
+type shard struct {
 	mu      sync.Mutex
 	records map[string]SiteRecord
 	epoch   uint64
-	snap    *Snapshot // built lazily, valid while snap.epoch == epoch
-
-	// partitioned freezes the served view: while set, queries are
-	// answered from the snapshot taken at partition start even though
-	// sites keep publishing. Models a network partition between the
-	// broker and the index (or a wedged GIIS serving stale registrations).
-	partitioned bool
-	frozen      *Snapshot
+	snap    *Snapshot // valid while snap.epoch == epoch and the schema matches
 }
 
 // New creates an information service on clock whose queries cost
 // queryLatency (one round trip from the broker to the index).
 func New(clock simclock.Clock, queryLatency time.Duration) *Service {
-	return &Service{
+	return NewSharded(clock, queryLatency, 1)
+}
+
+// NewSharded creates an information service whose registry is split
+// into the given number of hash shards (values < 1 mean one shard).
+func NewSharded(clock simclock.Clock, queryLatency time.Duration, shards int) *Service {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &Service{
 		clock:        clock,
 		queryLatency: queryLatency,
-		records:      make(map[string]SiteRecord),
+		shards:       make([]*shard, shards),
+		attrCount:    make(map[string]int),
+		attrCanon:    make(map[string]string),
 	}
+	for i := range s.shards {
+		s.shards[i] = &shard{records: make(map[string]SiteRecord)}
+	}
+	return s
+}
+
+// ShardCount reports how many hash shards the registry is split into.
+func (s *Service) ShardCount() int { return len(s.shards) }
+
+// shardFor hashes a site name onto its shard.
+func (s *Service) shardFor(name string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(name))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
 // QueryLatency returns the configured per-query round-trip cost.
@@ -400,28 +505,95 @@ func (s *Service) QueryLatency() time.Duration { return s.queryLatency }
 
 // Publish stores or replaces a site record, stamping it with the
 // current time. Sites call this periodically (push model, as GRIS to
-// GIIS registration). Each publish starts a new snapshot epoch.
+// GIIS registration). Each publish starts a new snapshot epoch on the
+// record's shard (and a new global epoch).
 func (s *Service) Publish(rec SiteRecord) error {
 	if rec.Name == "" {
 		return fmt.Errorf("infosys: record without site name")
 	}
 	rec = rec.Clone()
 	rec.UpdatedAt = s.clock.Now()
+	sh := s.shardFor(rec.Name)
+	sh.mu.Lock()
+	old, replaced := sh.records[rec.Name]
+	sh.records[rec.Name] = rec
+	sh.epoch++
 	s.mu.Lock()
-	s.records[rec.Name] = rec
 	s.epoch++
+	if replaced {
+		s.dropAttrsLocked(old)
+	} else {
+		s.count++
+	}
+	s.addAttrsLocked(rec)
 	s.mu.Unlock()
+	sh.mu.Unlock()
 	return nil
 }
 
 // Remove deletes a site record (site decommissioned or expired).
 func (s *Service) Remove(name string) {
-	s.mu.Lock()
-	if _, ok := s.records[name]; ok {
-		delete(s.records, name)
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	if old, ok := sh.records[name]; ok {
+		delete(sh.records, name)
+		sh.epoch++
+		s.mu.Lock()
 		s.epoch++
+		s.count--
+		s.dropAttrsLocked(old)
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
+}
+
+// addAttrsLocked credits a record's static attributes to the shared
+// schema bookkeeping, invalidating the schema when the name set grows.
+// Callers hold s.mu.
+func (s *Service) addAttrsLocked(rec SiteRecord) {
+	for k := range rec.Attrs {
+		lk := strings.ToLower(k)
+		if lk == "totalcpus" || lk == "freecpus" || lk == "queuedjobs" {
+			continue
+		}
+		if s.attrCount[lk] == 0 {
+			s.attrCanon[lk] = k
+			s.schema = nil
+		}
+		s.attrCount[lk]++
+	}
+}
+
+// dropAttrsLocked is addAttrsLocked's inverse, invalidating the schema
+// when an attribute loses its last holder. Callers hold s.mu.
+func (s *Service) dropAttrsLocked(rec SiteRecord) {
+	for k := range rec.Attrs {
+		lk := strings.ToLower(k)
+		if lk == "totalcpus" || lk == "freecpus" || lk == "queuedjobs" {
+			continue
+		}
+		if s.attrCount[lk]--; s.attrCount[lk] <= 0 {
+			delete(s.attrCount, lk)
+			delete(s.attrCanon, lk)
+			s.schema = nil
+		}
+	}
+}
+
+// sharedSchema returns the service-wide schema covering every static
+// attribute any published record carries, rebuilding it only when the
+// attribute name set changed since the last call.
+func (s *Service) sharedSchema() *Schema {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.schema == nil {
+		names := make([]string, 0, len(s.attrCanon))
+		for _, canon := range s.attrCanon {
+			names = append(names, canon)
+		}
+		s.schema = newSchema(names)
+	}
+	return s.schema
 }
 
 // Len reports the number of published sites without query cost
@@ -429,7 +601,7 @@ func (s *Service) Remove(name string) {
 func (s *Service) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.records)
+	return s.count
 }
 
 // Epoch reports the current registry generation (bumped by every
@@ -453,46 +625,143 @@ func (s *Service) Snapshot() *Snapshot {
 // SnapshotImmediate returns the current snapshot without charging
 // query latency; tests and instrumentation use it. While the service
 // is partitioned it returns the view frozen at partition start.
+//
+// With more than one shard the result is the cached merge of every
+// shard's snapshot. A merged view is consistent per shard (each
+// shard's slice reflects exactly one shard epoch) but, under
+// concurrent publishing, shards may be captured at slightly different
+// global epochs — the same guarantee Discover gives page by page.
 func (s *Service) SnapshotImmediate() *Snapshot {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.partitioned {
-		return s.frozen
+		fm := s.frozenMerged
+		s.mu.Unlock()
+		return fm
 	}
-	return s.currentLocked()
+	epoch := s.epoch
+	if s.merged != nil && s.mergedEpoch == epoch {
+		m := s.merged
+		s.mu.Unlock()
+		return m
+	}
+	s.mu.Unlock()
+
+	sc := s.sharedSchema()
+	var merged *Snapshot
+	if len(s.shards) == 1 {
+		// One shard: the merged view IS the shard snapshot (already
+		// name-sorted), preserving the monolithic index's zero-copy
+		// behavior.
+		merged = s.shardSnapshot(0, sc)
+	} else {
+		parts := make([]*Snapshot, len(s.shards))
+		for i := range s.shards {
+			parts[i] = s.shardSnapshot(i, sc)
+		}
+		merged = mergeSnapshots(epoch, parts, sc)
+	}
+	s.mu.Lock()
+	if s.epoch == epoch && !s.partitioned {
+		s.merged, s.mergedEpoch = merged, epoch
+	}
+	s.mu.Unlock()
+	return merged
 }
 
-// currentLocked rebuilds the lazy snapshot if the epoch moved. Callers
-// must hold s.mu.
-func (s *Service) currentLocked() *Snapshot {
-	if s.snap == nil || s.snap.epoch != s.epoch {
-		recs := make([]SiteRecord, 0, len(s.records))
-		for _, r := range s.records {
+// shardSnapshot returns shard i's copy-on-write snapshot laid out
+// against sc, rebuilding it only when the shard's epoch moved or the
+// shared schema changed.
+func (s *Service) shardSnapshot(i int, sc *Schema) *Snapshot {
+	sh := s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.snap == nil || sh.snap.epoch != sh.epoch || sh.snap.schema != sc {
+		recs := make([]SiteRecord, 0, len(sh.records))
+		for _, r := range sh.records {
 			// Records were cloned on Publish and are never handed out
-			// mutably, so the snapshot may share them; its accessors
-			// clone on the way out.
+			// mutably, so the snapshot may share them; accessors that
+			// expose mutable state clone on the way out.
 			recs = append(recs, r)
 		}
-		s.snap = newSnapshot(s.epoch, recs, s.snap)
+		sort.Slice(recs, func(a, b int) bool { return recs[a].Name < recs[b].Name })
+		sh.snap = buildSnapshot(sh.epoch, recs, sc)
 	}
-	return s.snap
+	return sh.snap
+}
+
+// mergeSnapshots concatenates per-shard snapshots into one whole-grid
+// snapshot sorted by site name. Parts already laid out against sc
+// share their record and value slices with the merged view; a part
+// caught mid-schema-change is re-flattened.
+func mergeSnapshots(epoch uint64, parts []*Snapshot, sc *Schema) *Snapshot {
+	n := 0
+	for _, p := range parts {
+		n += len(p.recs)
+	}
+	m := &Snapshot{epoch: epoch, schema: sc,
+		recs: make([]SiteRecord, 0, n), vals: make([][]any, 0, n)}
+	for _, p := range parts {
+		m.recs = append(m.recs, p.recs...)
+		if p.schema == sc {
+			m.vals = append(m.vals, p.vals...)
+			continue
+		}
+		for _, r := range p.recs {
+			m.vals = append(m.vals, valsFor(r, sc))
+		}
+	}
+	sort.Sort(&jointSort{m.recs, m.vals})
+	return m
+}
+
+// jointSort name-sorts a record slice and its parallel value slice.
+type jointSort struct {
+	recs []SiteRecord
+	vals [][]any
+}
+
+func (j *jointSort) Len() int           { return len(j.recs) }
+func (j *jointSort) Less(a, b int) bool { return j.recs[a].Name < j.recs[b].Name }
+func (j *jointSort) Swap(a, b int) {
+	j.recs[a], j.recs[b] = j.recs[b], j.recs[a]
+	j.vals[a], j.vals[b] = j.vals[b], j.vals[a]
 }
 
 // SetPartitioned cuts (or heals) the broker↔index link. While cut,
-// every query is served from the snapshot taken at partition start:
-// publishes still land in the registry, but brokers see a stale world
-// until the partition heals. Healing resumes normal (current-epoch)
-// service on the next query.
+// every query — whole-grid or paged — is served from the snapshots
+// taken at partition start: publishes still land in the registry, but
+// brokers see a stale world until the partition heals. Healing resumes
+// normal (current-epoch) service on the next query.
 func (s *Service) SetPartitioned(cut bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cut && !s.partitioned {
-		s.frozen = s.currentLocked()
-	}
 	if !cut {
-		s.frozen = nil
+		s.mu.Lock()
+		s.partitioned, s.frozenShards, s.frozenMerged = false, nil, nil
+		s.mu.Unlock()
+		return
 	}
-	s.partitioned = cut
+	s.mu.Lock()
+	already := s.partitioned
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	sc := s.sharedSchema()
+	parts := make([]*Snapshot, len(s.shards))
+	for i := range s.shards {
+		parts[i] = s.shardSnapshot(i, sc)
+	}
+	merged := parts[0]
+	if len(parts) > 1 {
+		s.mu.Lock()
+		epoch := s.epoch
+		s.mu.Unlock()
+		merged = mergeSnapshots(epoch, parts, sc)
+	}
+	s.mu.Lock()
+	if !s.partitioned {
+		s.partitioned, s.frozenShards, s.frozenMerged = true, parts, merged
+	}
+	s.mu.Unlock()
 }
 
 // Partitioned reports whether the service is currently serving the
@@ -520,13 +789,15 @@ func (s *Service) QueryImmediate() []SiteRecord { return s.SnapshotImmediate().R
 // clock time; monitoring uses it to spot sites that stopped pushing.
 func (s *Service) StaleAfter(maxAge time.Duration) []string {
 	now := s.clock.Now()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	var stale []string
-	for name, r := range s.records {
-		if now.Sub(r.UpdatedAt) > maxAge {
-			stale = append(stale, name)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for name, r := range sh.records {
+			if now.Sub(r.UpdatedAt) > maxAge {
+				stale = append(stale, name)
+			}
 		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(stale)
 	return stale
