@@ -23,6 +23,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -31,6 +33,12 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back so deferred profile writers run
+// before the process exits (os.Exit skips defers).
+func realMain() int {
 	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, scale, chaos, replay, checktrace, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
@@ -45,24 +53,64 @@ func main() {
 	traceIn := flag.String("tracein", "", "JSONL event log to verify with -exp checktrace")
 	chromeOut := flag.String("chromeout", "", "also convert -tracein to Chrome trace_event JSON at this path")
 	baseline := flag.String("baseline", "", "committed BENCH_matchmaking.json to compare -exp bench results against")
-	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op slowdown vs -baseline before failing")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression vs a baseline before failing")
 	shards := flag.Int("shards", 16, "information-service shard count for -exp scale")
 	pageSize := flag.Int("pagesize", 0, "discovery page size for -exp scale (0 = infosys default)")
 	scaleOut := flag.String("scaleout", "BENCH_infosys.json", "output path for -exp scale")
 	scaleBaseline := flag.String("scalebaseline", "", "committed BENCH_infosys.json to compare -exp scale results against")
 	tracePath := flag.String("trace", "", "SWF/GWF workload log to drive -exp replay")
+	synth := flag.Int("synth", 0, "generate a deterministic synthetic archive with this many jobs for -exp replay (instead of -trace)")
 	replayOut := flag.String("replayout", "BENCH_replay.json", "output path for -exp replay")
+	replayBaseline := flag.String("replaybaseline", "", "committed BENCH_replay.json to compare -exp replay throughput against")
 	window := flag.String("window", "", "trace window for -exp replay as N:M hours (default whole trace)")
+	speedups := flag.String("speedups", "", "comma-separated arrival speedups for -exp replay (default 1,2,4)")
+	sites := flag.Int("sites", 0, "replay grid sites (0 = 4, or 8 with -synth)")
+	nodes := flag.Int("nodes", 0, "replay nodes per site (0 = 8, or 16 with -synth)")
+	nowall := flag.Bool("nowall", false, "zero the wall-clock throughput fields in -exp replay output (for determinism diffs)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gridbench: -memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
+	exitCode := 0
 	run := func(name string, fn func() error) {
-		if *exp != "all" && *exp != name {
+		if exitCode != 0 || (*exp != "all" && *exp != name) {
 			return
 		}
 		start := time.Now()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "gridbench: %s: %v\n", name, err)
-			os.Exit(1)
+			exitCode = 1
+			return
 		}
 		fmt.Fprintf(os.Stderr, "[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -83,11 +131,20 @@ func main() {
 	// log, so both run only when named explicitly (there is nothing to
 	// feed them under -exp all).
 	if *exp == "replay" {
-		run("replay", func() error { return replay(*tracePath, *replayOut, *traceOut, *window, *seed) })
+		run("replay", func() error {
+			return replay(replayOpts{
+				trace: *tracePath, synth: *synth,
+				out: *replayOut, traceout: *traceOut,
+				window: *window, speedups: *speedups,
+				seed: *seed, sites: *sites, nodes: *nodes,
+				nowall: *nowall, baseline: *replayBaseline, tolerance: *tolerance,
+			})
+		})
 	}
 	if *exp == "checktrace" {
 		run("checktrace", func() error { return checktrace(*traceIn, *chromeOut) })
 	}
+	return exitCode
 }
 
 func table1(runs int, seed int64) error {

@@ -142,6 +142,7 @@ type Queue struct {
 	sim   *simclock.Sim
 	name  string
 	nodes []*Node
+	nfree int // nodes with no holder, maintained by start/finish
 
 	// cycle is the LRM's scheduling pass interval: a submitted job is
 	// considered at the next pass, modeling PBS/Condor negotiation
@@ -181,6 +182,7 @@ func NewQueue(sim *simclock.Sim, name string, n int, machineOpts []vmslot.Option
 			CPU:  vmslot.NewMachine(sim, machineOpts...),
 		})
 	}
+	q.nfree = len(q.nodes)
 	for _, o := range opts {
 		o(q)
 	}
@@ -305,23 +307,23 @@ func (q *Queue) pass() {
 	})
 	for len(q.pending) > 0 {
 		h := q.pending[0]
-		free := q.freeNodes()
-		if len(free) < h.req.Nodes {
+		if q.nfree < h.req.Nodes {
 			return
 		}
-		q.pending = q.pending[1:]
-		q.start(h, free[:h.req.Nodes])
-	}
-}
-
-func (q *Queue) freeNodes() []*Node {
-	var free []*Node
-	for _, n := range q.nodes {
-		if n.holder == nil {
-			free = append(free, n)
+		// Exact-size allocation: the slice is retained in ExecCtx for
+		// the job's whole run, so it cannot come from a scratch buffer.
+		nodes := make([]*Node, 0, h.req.Nodes)
+		for _, n := range q.nodes {
+			if n.holder == nil {
+				nodes = append(nodes, n)
+				if len(nodes) == h.req.Nodes {
+					break
+				}
+			}
 		}
+		q.pending = q.pending[1:]
+		q.start(h, nodes)
 	}
-	return free
 }
 
 type job struct{ h *Handle }
@@ -333,6 +335,7 @@ func (q *Queue) start(h *Handle, nodes []*Node) {
 	for _, n := range nodes {
 		n.holder = j
 	}
+	q.nfree -= len(nodes)
 	h.exec = &ExecCtx{Nodes: nodes, Killed: q.sim.NewTrigger(), sim: q.sim}
 	h.Started.Fire()
 	q.sim.Go(func() {
@@ -345,6 +348,7 @@ func (q *Queue) finish(h *Handle, nodes []*Node) {
 	for _, n := range nodes {
 		if n.holder != nil && n.holder.h == h {
 			n.holder = nil
+			q.nfree++
 		}
 	}
 	if h.st == Running {
@@ -391,7 +395,7 @@ func (q *Queue) Lookup(id string) (*Handle, bool) {
 }
 
 // FreeNodeCount reports nodes with no holder.
-func (q *Queue) FreeNodeCount() int { return len(q.freeNodes()) }
+func (q *Queue) FreeNodeCount() int { return q.nfree }
 
 // QueueLength reports the number of pending jobs.
 func (q *Queue) QueueLength() int { return len(q.pending) }

@@ -380,6 +380,20 @@ type Broker struct {
 	leases     map[string]*leaseQueue // site -> lease expiry batches
 	health     map[string]*siteHealth // site -> circuit-breaker state
 
+	// freeAgents tracks agents believed to have a free interactive
+	// VM, sorted by agent ID. Agents are added when they become ready
+	// or a VM frees up, and dropped lazily when a scan observes them
+	// busy (or eagerly on release), so an interactive submission scans
+	// only candidate agents instead of the whole registry — the old
+	// full scan was the dominant per-job cost on large grids.
+	// freeSet is the membership index; freeScratch and reqMemo are
+	// per-call scratch storage for freeAgentsMatching.
+	freeAgents  []agentEntry
+	freeSet     map[*glidein.Agent]bool
+	freeScratch []*glidein.Agent
+	reqMemo     map[*site.Site]bool
+	taskPool    [][]probeTask // recycled matchmaking scratch, see getTasks
+
 	// lastSnap keeps the previous discovery snapshot when running
 	// without an information service, so schema pointers (and the
 	// jobs' compiled-predicate caches) stay stable across passes.
@@ -388,6 +402,13 @@ type Broker struct {
 	pendingBatch []*Handle
 	seq          int
 	dispatching  bool
+}
+
+// agentEntry pairs a registered agent with its hosting site in the
+// sorted registry slice.
+type agentEntry struct {
+	agent *glidein.Agent
+	site  *site.Site
 }
 
 // New creates a broker.

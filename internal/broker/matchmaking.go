@@ -167,7 +167,7 @@ func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 	nonce := b.rng.Uint64()
 	h.unavailable, h.scanned, h.peak = 0, 0, 0
 	topk := b.cfg.TopK
-	var keep topkHeap
+	keep := topkHeap(b.getTasks())
 	for page, ok := cur.Next(); ok; page, ok = cur.Next() {
 		snap := page.Snapshot()
 		// The schema is shared service-wide, so this compiles once per
@@ -228,6 +228,7 @@ func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 		}
 	}
 	cands := b.finishSelection(h, []probeTask(keep))
+	b.putTasks([]probeTask(keep))
 	h.Phases.Selection += b.sim.Since(sstart)
 	return cands
 }
@@ -333,6 +334,30 @@ func (b *Broker) finishSelection(h *Handle, kept []probeTask) []candidate {
 	// is zero and ties resolve by site name.
 	sort.Slice(cands, func(i, j int) bool { return candBetter(&cands[i], &cands[j]) })
 	return cands
+}
+
+// getTasks and putTasks pool probeTask slices across streamed
+// matchmaking passes: the replay hot loop runs one pass per
+// submission, and a fresh slice per pass was the broker's largest
+// allocation source. A free list (rather than a single scratch
+// buffer) is needed because probing spends simulated time, so several
+// passes can be in flight. The whole-snapshot reference pass does not
+// pool — its allocations are meant to scale with the grid, which is
+// exactly the contrast the scale experiment measures.
+func (b *Broker) getTasks() []probeTask {
+	if n := len(b.taskPool); n > 0 {
+		t := b.taskPool[n-1]
+		b.taskPool = b.taskPool[:n-1]
+		return t
+	}
+	return nil
+}
+
+func (b *Broker) putTasks(t []probeTask) {
+	for i := range t {
+		t[i] = probeTask{} // drop snapshot/site pointers
+	}
+	b.taskPool = append(b.taskPool, t[:0])
 }
 
 // probeSites fills each task's free/queued fields via the site's

@@ -240,6 +240,11 @@ func (b *Broker) runBatch(h *Handle) {
 func (b *Broker) wireAgent(agent *glidein.Agent, st *site.Site) {
 	b.agentSites[agent] = st
 	b.agents[agent.ID()] = agent
+	agent.Ready().OnFire(func() {
+		if agent.Free() {
+			b.freeAgentAdd(agent, st)
+		}
+	})
 	if b.cfg.Fair != nil {
 		agent.OnYield = func(batchID string, pl int) {
 			b.cfg.Fair.Reclass(batchID, fairshare.YieldedBatchClass, pl)
@@ -248,12 +253,47 @@ func (b *Broker) wireAgent(agent *glidein.Agent, st *site.Site) {
 			b.cfg.Fair.Reclass(batchID, fairshare.BatchClass, 0)
 		}
 	}
-	agent.OnFree = func(*glidein.Agent) { b.kickDispatch() }
+	agent.OnFree = func(*glidein.Agent) {
+		b.freeAgentAdd(agent, st)
+		b.kickDispatch()
+	}
 	agent.Released().OnFire(func() {
 		delete(b.agents, agent.ID())
 		delete(b.agentSites, agent)
+		b.freeAgentRemove(agent)
 		b.kickDispatch()
 	})
+}
+
+// freeAgentAdd records an agent with a free interactive VM in the
+// ID-sorted candidate list (no-op if already present).
+func (b *Broker) freeAgentAdd(agent *glidein.Agent, st *site.Site) {
+	if b.freeSet[agent] {
+		return
+	}
+	if b.freeSet == nil {
+		b.freeSet = make(map[*glidein.Agent]bool)
+	}
+	b.freeSet[agent] = true
+	id := agent.ID()
+	i := sort.Search(len(b.freeAgents), func(k int) bool { return b.freeAgents[k].agent.ID() >= id })
+	b.freeAgents = append(b.freeAgents, agentEntry{})
+	copy(b.freeAgents[i+1:], b.freeAgents[i:])
+	b.freeAgents[i] = agentEntry{agent, st}
+}
+
+// freeAgentRemove drops an agent from the candidate list (no-op if
+// absent).
+func (b *Broker) freeAgentRemove(agent *glidein.Agent) {
+	if !b.freeSet[agent] {
+		return
+	}
+	delete(b.freeSet, agent)
+	id := agent.ID()
+	i := sort.Search(len(b.freeAgents), func(k int) bool { return b.freeAgents[k].agent.ID() >= id })
+	if i < len(b.freeAgents) && b.freeAgents[i].agent == agent {
+		b.freeAgents = append(b.freeAgents[:i], b.freeAgents[i+1:]...)
+	}
 }
 
 // ---------------------------------------------------------------------
@@ -487,7 +527,7 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 		// Combined discovery+selection over the local registry.
 		start := b.sim.Now()
 		b.sim.Sleep(b.cfg.AgentRegistryCost)
-		free := b.freeAgentsMatching(job)
+		free := b.freeAgentsMatching(job, job.NodeNumber)
 		if first {
 			first = false
 			h.Phases.Selection = b.sim.Since(start)
@@ -563,30 +603,57 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 }
 
 // freeAgentsMatching returns free agents whose site satisfies the
-// job's Requirements, in randomized order.
-func (b *Broker) freeAgentsMatching(job *jdl.Job) []*glidein.Agent {
-	var out []*glidein.Agent
-	for _, a := range b.agents {
-		if !a.Free() {
+// job's Requirements, in randomized order. The scan walks the
+// ID-sorted free-agent candidate list (a deterministic base order,
+// then the broker's seeded shuffle), evicting agents observed busy —
+// they re-enter via OnFree — so its cost tracks the free population,
+// not the registry size. It reuses a scratch result buffer: the
+// returned slice is only valid until the next call, which is fine
+// because callers consume it before yielding to the simulation.
+// Requirements are evaluated once per distinct site, not per agent.
+// need caps how many leading agents the caller will consume, so only
+// that prefix is randomized (a partial Fisher-Yates draws each prefix
+// element uniformly from the whole match set, exactly as a full
+// shuffle would).
+func (b *Broker) freeAgentsMatching(job *jdl.Job, need int) []*glidein.Agent {
+	out := b.freeScratch[:0]
+	if job.Requirements != nil {
+		if b.reqMemo == nil {
+			b.reqMemo = make(map[*site.Site]bool)
+		}
+		clear(b.reqMemo)
+	}
+	live := b.freeAgents[:0]
+	for _, e := range b.freeAgents {
+		if !e.agent.Free() {
+			delete(b.freeSet, e.agent)
 			continue
 		}
-		st := b.agentSites[a]
-		if st == nil {
-			continue
-		}
+		live = append(live, e)
 		if job.Requirements != nil {
-			ok, err := job.Requirements.EvalBool(st.Record().MatchAttrs())
-			if err != nil || !ok {
+			ok, seen := b.reqMemo[e.site]
+			if !seen {
+				v, err := job.Requirements.EvalBool(e.site.Record().MatchAttrs())
+				ok = err == nil && v
+				b.reqMemo[e.site] = ok
+			}
+			if !ok {
 				continue
 			}
 		}
-		out = append(out, a)
+		out = append(out, e.agent)
 	}
-	// Deterministic base order (map iteration is random in Go but not
-	// seeded), then the broker's seeded shuffle.
-	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	b.freeAgents = live
+	b.freeScratch = out
 	if !b.cfg.Deterministic {
-		b.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		k := need
+		if k > len(out) {
+			k = len(out)
+		}
+		for i := 0; i < k; i++ {
+			j := i + b.rng.Intn(len(out)-i)
+			out[i], out[j] = out[j], out[i]
+		}
 	}
 	return out
 }
@@ -597,6 +664,16 @@ func (b *Broker) freeAgentsMatching(job *jdl.Job) []*glidein.Agent {
 // caller should kill-and-resubmit.
 func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) bool {
 	job := h.request.Job
+	// The chosen agents were alive at match time, but filling a
+	// shortfall launches fresh agents — virtual time passes, and a
+	// previously free agent may have died and been reaped from the
+	// registry meanwhile. Treat that like a mid-run death: the caller
+	// kills and resubmits under the usual budget.
+	for _, a := range agents {
+		if b.agentSites[a] == nil {
+			return false
+		}
+	}
 	st := b.agentSites[agents[0]]
 	h.site = st.Name()
 	if len(agents) > 1 {

@@ -53,11 +53,19 @@ type ReplayPoint struct {
 	// hours.
 	MeanTurnaroundH float64 `json:"mean_turnaround_hours"`
 	P95TurnaroundH  float64 `json:"p95_turnaround_hours"`
-	// Resubmissions is the total failure-driven resubmission count.
+	// Resubmissions is the total failure-driven resubmission count
+	// across jobs that reached a terminal state.
 	Resubmissions int `json:"resubmissions"`
 	// CappedWidths counts jobs whose recorded width exceeded the
 	// biggest site and was clamped to fit.
 	CappedWidths int `json:"capped_widths"`
+	// SimSeconds is the virtual time the point consumed (arrival
+	// window plus drain) and SimJobsPerSec the replay throughput
+	// against the simulated clock. Both are deterministic — wall-clock
+	// throughput lives in the gridbench report, not here, so the point
+	// list stays byte-identical run over run.
+	SimSeconds    float64 `json:"sim_seconds"`
+	SimJobsPerSec float64 `json:"sim_jobs_per_sec"`
 	// Trace is the cell's event log when ReplayConfig.Traced is set
 	// (excluded from the JSON summary; export with trace.WriteJSONL).
 	Trace trace.Trace `json:"-"`
@@ -66,8 +74,13 @@ type ReplayPoint struct {
 // ReplayConfig parametrizes the sweep.
 type ReplayConfig struct {
 	// Jobs is the normalized trace (workload.LoadTrace or
-	// FromSWF/FromGWF output).
+	// FromSWF/FromGWF output). Ignored when Source is set.
 	Jobs []workload.TraceJob
+	// Source, when set, supplies a fresh replay stream per sweep point
+	// — streamed ingest at constant memory, no materialized job slice.
+	// It receives the point's speedup and must return a stream
+	// positioned at the first job; the sweep closes it.
+	Source func(speedup float64) (workload.ReplayStream, error)
 	// Sites and NodesPerSite shape the grid (default 4x8).
 	Sites, NodesPerSite int
 	// StartHour/EndHour slice the trace window (hours; EndHour <= 0
@@ -81,6 +94,11 @@ type ReplayConfig struct {
 	Rule workload.ClassifyRule
 	// PerformanceLoss is assigned to interactive jobs (default 10).
 	PerformanceLoss int
+	// TopK bounds each matchmaking pass's candidate heap (and so the
+	// direct site probes per submission, the dominant per-job cost on
+	// large grids). 0 uses 16; negative disables pruning and probes
+	// every matching site, the pre-sharding behavior.
+	TopK int
 	// Seed drives broker randomization.
 	Seed int64
 	// Workers bounds concurrent points; 0 uses one per CPU.
@@ -99,12 +117,17 @@ func (c *ReplayConfig) setDefaults() {
 	if len(c.Speedups) == 0 {
 		c.Speedups = []float64{1, 2, 4}
 	}
+	if c.TopK == 0 {
+		c.TopK = 16
+	} else if c.TopK < 0 {
+		c.TopK = 0
+	}
 }
 
 // ReplaySweep runs one independent simulation per speedup.
 func ReplaySweep(cfg ReplayConfig) ([]ReplayPoint, error) {
 	cfg.setDefaults()
-	if len(cfg.Jobs) == 0 {
+	if len(cfg.Jobs) == 0 && cfg.Source == nil {
 		return nil, fmt.Errorf("experiments: replay: no trace jobs (load one with workload.LoadTrace)")
 	}
 	return runCells(len(cfg.Speedups), cfg.Workers, func(i int) (ReplayPoint, error) {
@@ -118,13 +141,25 @@ func ReplaySweep(cfg ReplayConfig) ([]ReplayPoint, error) {
 
 func replayPoint(speedup float64, idx int64, cfg ReplayConfig) (ReplayPoint, error) {
 	p := ReplayPoint{Speedup: speedup}
-	stream, err := workload.NewReplay(cfg.Jobs, workload.ReplayConfig{
+	rcfg := workload.ReplayConfig{
 		StartHour: cfg.StartHour, EndHour: cfg.EndHour,
 		Speedup: speedup, Rule: cfg.Rule, PerformanceLoss: cfg.PerformanceLoss,
-	})
-	if err != nil {
-		return p, err
 	}
+	var stream workload.ReplayStream
+	if cfg.Source != nil {
+		s, err := cfg.Source(speedup)
+		if err != nil {
+			return p, err
+		}
+		stream = s
+	} else {
+		s, err := workload.NewReplay(cfg.Jobs, rcfg)
+		if err != nil {
+			return p, err
+		}
+		stream = s
+	}
+	defer stream.Close()
 
 	sim := simclock.NewSim(time.Time{})
 	info := infosys.New(sim, 500*time.Millisecond)
@@ -144,6 +179,7 @@ func replayPoint(speedup float64, idx int64, cfg ReplayConfig) (ReplayPoint, err
 		RetryBackoff:     2,
 		RetryMaxInterval: 4 * time.Minute,
 		AgentHeartbeat:   10 * time.Second,
+		TopK:             cfg.TopK,
 	})
 	for i := 0; i < cfg.Sites; i++ {
 		b.RegisterSite(site.New(sim, site.Config{
@@ -155,24 +191,35 @@ func replayPoint(speedup float64, idx int64, cfg ReplayConfig) (ReplayPoint, err
 		}))
 	}
 
-	type tracked struct {
-		h   *broker.Handle
-		job workload.Job
-	}
-	var all []tracked
-	var submitErr error
-	var maxRuntime time.Duration
+	var (
+		submitErr  error
+		maxRuntime time.Duration
+		terminal   int
+		drained    bool
+		startup    = metrics.NewSeries("startup")
+		turnaround = metrics.NewSeries("turnaround")
+	)
 
-	// Arrival process: walk the replay stream on the virtual clock,
-	// exactly like the synthetic day experiment walks its generators.
-	var arrive func(j workload.Job)
-	schedule := func() {
-		if j, delay, ok := stream.Next(); ok {
-			sim.AfterFunc(delay, func() { arrive(j) })
+	// Job descriptions are pooled: a description is only referenced by
+	// its handle, and the handle is dropped once its Done trigger has
+	// fired (state is terminal before the fire), so recycling there is
+	// safe and keeps the million-job hot loop from churning the heap.
+	var jdFree []*jdl.Job
+	newJD := func() *jdl.Job {
+		if n := len(jdFree); n > 0 {
+			jd := jdFree[n-1]
+			jdFree = jdFree[:n-1]
+			*jd = jdl.Job{}
+			return jd
 		}
+		return new(jdl.Job)
 	}
-	arrive = func(j workload.Job) {
-		defer schedule()
+
+	// arrive submits one job and hooks its terminal accounting onto
+	// the Done trigger — no retained handle slice, no end-of-run scan:
+	// completion metrics stream out as the simulation runs, so memory
+	// stays constant in trace length.
+	arrive := func(j workload.Job) {
 		nodes := j.Nodes
 		if nodes < 1 {
 			nodes = 1
@@ -181,11 +228,13 @@ func replayPoint(speedup float64, idx int64, cfg ReplayConfig) (ReplayPoint, err
 			nodes = cfg.NodesPerSite
 			p.CappedWidths++
 		}
-		jd := &jdl.Job{NodeNumber: nodes}
+		jd := newJD()
+		jd.NodeNumber = nodes
 		if nodes > 1 {
 			jd.Flavor = jdl.MPICHP4
 		}
-		if j.Kind == workload.InteractiveJob {
+		interactive := j.Kind == workload.InteractiveJob
+		if interactive {
 			p.Interactive++
 			jd.Executable = "iapp"
 			jd.Interactive = true
@@ -203,61 +252,81 @@ func replayPoint(speedup float64, idx int64, cfg ReplayConfig) (ReplayPoint, err
 			submitErr = err
 			return
 		}
-		all = append(all, tracked{h: h, job: j})
+		p.Submitted++
+		h.Done.OnFire(func() {
+			terminal++
+			p.Resubmissions += h.Resubmissions()
+			switch h.State() {
+			case broker.Done:
+				p.Done++
+				if interactive {
+					startup.AddDuration(h.Phases.Submission)
+					if h.Shared() {
+						p.SharedPlacements++
+					}
+				} else {
+					turnaround.AddDuration(h.Turnaround())
+				}
+			case broker.Failed:
+				p.Failed++
+			}
+			jdFree = append(jdFree, jd)
+		})
 	}
-	schedule()
 
-	// Ride out the arrival window, then drain until every submission
-	// is terminal (bounded: resubmission caps guarantee progress, but
-	// a pathologically overloaded grid stops the clock eventually).
-	var span time.Duration
-	if jobs := stream.Jobs(); len(jobs) > 0 {
-		windowStart := time.Duration(cfg.StartHour * float64(time.Hour))
-		span = workload.ScaleGap(jobs[len(jobs)-1].Submit-windowStart, speedup) + time.Hour
+	// Arrival process: walk the replay stream on the virtual clock.
+	// Zero-gap arrivals (simultaneous submits, common at high
+	// speedups) are pumped in one batch instead of one timer event
+	// each.
+	var pump func()
+	pump = func() {
+		for {
+			j, delay, ok := stream.Next()
+			if !ok {
+				drained = true
+				if err := stream.Err(); err != nil && submitErr == nil {
+					submitErr = err
+				}
+				return
+			}
+			if delay == 0 {
+				arrive(j)
+				continue
+			}
+			sim.AfterFunc(delay, func() {
+				arrive(j)
+				pump()
+			})
+			return
+		}
 	}
-	sim.RunFor(span)
-	if submitErr != nil {
-		return p, submitErr
-	}
-	deadline := maxRuntime + 48*time.Hour
-	for waited := time.Duration(0); waited < deadline; waited += 15 * time.Minute {
-		allTerminal := len(all) == stream.Len()
-		for _, t := range all {
-			if s := t.h.State(); s != broker.Done && s != broker.Failed {
-				allTerminal = false
+	pump()
+
+	// Run arrivals and completions in virtual-time chunks until every
+	// submission is terminal (bounded: resubmission caps guarantee
+	// progress, but a pathologically overloaded grid stops the clock
+	// eventually).
+	const chunk = 15 * time.Minute
+	simStart := sim.Now()
+	for waited := time.Duration(0); ; {
+		if submitErr != nil {
+			return p, submitErr
+		}
+		if drained {
+			if terminal >= p.Submitted {
 				break
 			}
-		}
-		if allTerminal {
-			break
-		}
-		sim.RunFor(15 * time.Minute)
-	}
-	if submitErr != nil {
-		return p, submitErr
-	}
-
-	startup := metrics.NewSeries("startup")
-	turnaround := metrics.NewSeries("turnaround")
-	p.Submitted = len(all)
-	for _, t := range all {
-		p.Resubmissions += t.h.Resubmissions()
-		switch t.h.State() {
-		case broker.Done:
-			p.Done++
-			if t.job.Kind == workload.InteractiveJob {
-				startup.AddDuration(t.h.Phases.Submission)
-				if t.h.Shared() {
-					p.SharedPlacements++
-				}
-			} else {
-				turnaround.AddDuration(t.h.Turnaround())
+			if waited >= maxRuntime+48*time.Hour {
+				break
 			}
-		case broker.Failed:
-			p.Failed++
-		default:
-			p.Pending++
+			waited += chunk
 		}
+		sim.RunFor(chunk)
+	}
+	p.Pending = p.Submitted - terminal
+	p.SimSeconds = sim.Now().Sub(simStart).Seconds()
+	if p.SimSeconds > 0 {
+		p.SimJobsPerSec = float64(p.Submitted) / p.SimSeconds
 	}
 	if p.Submitted > 0 {
 		p.GoodputPct = 100 * float64(p.Done) / float64(p.Submitted)

@@ -131,6 +131,49 @@ func TestReplaySweepWindowAndRule(t *testing.T) {
 	}
 }
 
+// A sweep fed by streamed ingest (Source) must produce byte-identical
+// points to one fed the materialized job slice — the streaming path
+// is a drop-in replacement, trace semantics included.
+func TestReplaySweepStreamedMatchesMaterialized(t *testing.T) {
+	path := "../workload/testdata/grid5000.gwf"
+	cfg := ReplayConfig{Jobs: loadFixture(t, "grid5000.gwf"), Seed: 11, Traced: true}
+	batch, err := ReplaySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Jobs = nil
+	cfg.Source = func(speedup float64) (workload.ReplayStream, error) {
+		tr, err := workload.OpenTraceReader(path, workload.TraceReaderOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return workload.NewStreamReplay(tr, workload.ReplayConfig{Speedup: speedup})
+	}
+	streamed, err := ReplaySweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(batch)
+	js, _ := json.Marshal(streamed)
+	if !bytes.Equal(jb, js) {
+		t.Fatalf("streamed sweep diverged from materialized:\n%s\n---\n%s", jb, js)
+	}
+	for i := range batch {
+		if !bytes.Equal(traceJSON(t, batch[i].Trace), traceJSON(t, streamed[i].Trace)) {
+			t.Fatalf("point %d: event logs diverged", i)
+		}
+	}
+}
+
+func traceJSON(t *testing.T, tr trace.Trace) []byte {
+	t.Helper()
+	var b bytes.Buffer
+	if err := trace.WriteJSONL(&b, []trace.Trace{tr}); err != nil {
+		t.Fatal(err)
+	}
+	return b.Bytes()
+}
+
 func TestReplaySweepRejectsEmptyTrace(t *testing.T) {
 	if _, err := ReplaySweep(ReplayConfig{}); err == nil {
 		t.Fatal("empty trace accepted")

@@ -79,7 +79,14 @@ type ScalePoint struct {
 	// DiscoveryMicros is the discovery share of PassMicros.
 	DiscoveryMicros int64 `json:"discovery_micros"`
 	// AllocsPerPass is the minimum heap allocations one pass cost.
+	// With the event and scratch pools warm this is near-constant for
+	// both passes; BytesPerPass carries the grid-size contrast.
 	AllocsPerPass uint64 `json:"allocs_per_pass"`
+	// BytesPerPass is the minimum bytes one pass allocated. The
+	// whole-snapshot pass materializes every record's probe task, so
+	// this grows with the grid, while the paged pass stays bounded by
+	// page size + K.
+	BytesPerPass uint64 `json:"bytes_per_pass"`
 	// PeakCandidates is the most candidates the pass held at once —
 	// the per-pass memory high-water mark the top-K heap bounds.
 	PeakCandidates int `json:"peak_candidates"`
@@ -183,6 +190,7 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 	runtime.GC()
 	prevGC := debug.SetGCPercent(-1)
 	allocs := ^uint64(0)
+	bytes := ^uint64(0)
 	var stats broker.PassStats
 	var err error
 	for p := 0; p < cfg.Passes; p++ {
@@ -196,6 +204,9 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 		if d := after.Mallocs - before.Mallocs; d < allocs {
 			allocs = d
 		}
+		if d := after.TotalAlloc - before.TotalAlloc; d < bytes {
+			bytes = d
+		}
 	}
 	debug.SetGCPercent(prevGC)
 	runtime.GOMAXPROCS(prevProcs)
@@ -206,6 +217,7 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 	pt.PassMicros = (stats.Discovery + stats.Selection).Microseconds()
 	pt.DiscoveryMicros = stats.Discovery.Microseconds()
 	pt.AllocsPerPass = allocs
+	pt.BytesPerPass = bytes
 	pt.PeakCandidates = stats.Peak
 	pt.Scanned = stats.Scanned
 	pt.Candidates = stats.Candidates
@@ -215,7 +227,7 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 // RenderScale formats the sweep like the paper's tables: one row per
 // (sites, mode) cell, paged and snapshot side by side.
 func RenderScale(points []ScalePoint) string {
-	t := metrics.NewTable("Sites", "Mode", "Pass (virtual)", "Peak cands", "Allocs/pass", "Scanned")
+	t := metrics.NewTable("Sites", "Mode", "Pass (virtual)", "Peak cands", "Allocs/pass", "KB/pass", "Scanned")
 	for _, p := range points {
 		t.AddRow(
 			fmt.Sprintf("%d", p.Sites),
@@ -223,6 +235,7 @@ func RenderScale(points []ScalePoint) string {
 			(time.Duration(p.PassMicros) * time.Microsecond).String(),
 			fmt.Sprintf("%d", p.PeakCandidates),
 			fmt.Sprintf("%d", p.AllocsPerPass),
+			fmt.Sprintf("%d", p.BytesPerPass/1024),
 			fmt.Sprintf("%d", p.Scanned),
 		)
 	}

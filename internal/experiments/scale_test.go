@@ -42,8 +42,16 @@ func TestScalePassMemoryBounded(t *testing.T) {
 	if snap.PeakCandidates != 5000 {
 		t.Fatalf("snapshot pass held %d candidates at peak, want all 5000", snap.PeakCandidates)
 	}
-	if snap.AllocsPerPass <= bound {
-		t.Fatalf("snapshot pass allocated only %d objects — the comparison lost its contrast", snap.AllocsPerPass)
+	// Object counts are near-constant for both passes now that the
+	// clock's event pool and the broker's scratch pools recycle across
+	// passes; the per-pass byte volume still carries the contrast —
+	// the snapshot pass materializes a probe task per registry record.
+	if floor := uint64(5000 * 16); snap.BytesPerPass < floor {
+		t.Fatalf("snapshot pass allocated only %d bytes — the comparison lost its contrast", snap.BytesPerPass)
+	}
+	if paged.BytesPerPass*4 > snap.BytesPerPass {
+		t.Fatalf("paged pass bytes (%d) not clearly below snapshot pass bytes (%d)",
+			paged.BytesPerPass, snap.BytesPerPass)
 	}
 	if paged.PassMicros > snap.PassMicros {
 		t.Fatalf("paged pass slower than snapshot pass at 5000 sites: %dµs > %dµs",

@@ -110,6 +110,7 @@ type Agent struct {
 	batchDone  bool
 	batchDoneT *simclock.Trigger
 	released   *simclock.Trigger
+	relFired   bool // mirrors released.Fired(), avoids the Trigger mutex on hot paths
 	ready      *simclock.Trigger
 	hasBatch   bool
 	batchID    string
@@ -151,6 +152,7 @@ func LaunchWithOptions(sim *simclock.Sim, st *site.Site, payload *BatchPayload, 
 		ready:      sim.NewTrigger(),
 		hasBatch:   payload != nil,
 	}
+	a.released.OnFire(func() { a.relFired = true })
 	owner := "crossbroker"
 	if payload != nil {
 		owner = payload.Owner
@@ -252,7 +254,7 @@ func (a *Agent) Degree() int { return a.opts.Degree }
 
 // FreeSlots reports how many interactive VMs can take a job right now.
 func (a *Agent) FreeSlots() int {
-	if a.node == nil || a.released.Fired() {
+	if a.node == nil || a.relFired {
 		return 0
 	}
 	return a.opts.Degree - len(a.activePL)

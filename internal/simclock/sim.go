@@ -1,7 +1,6 @@
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
 	"sync"
 	"time"
@@ -20,6 +19,8 @@ type Sim struct {
 	mu     sync.Mutex
 	now    time.Time
 	events eventHeap
+	freeEv []*event // recycled events; see event.gen
+	freePr []*proc  // idle pooled process workers; see Go
 	seq    int64
 	cur    *proc // process currently holding control, nil in plain events
 	nprocs int   // live (not yet exited) processes
@@ -35,46 +36,89 @@ func NewSim(start time.Time) *Sim {
 }
 
 type event struct {
+	key      int64 // at.UnixNano(): cheap integer ordering key
 	at       time.Time
 	seq      int64
+	gen      uint64 // bumped on recycle; stale simTimers detect reuse
 	fn       func()
 	proc     *proc
 	canceled bool
-	index    int
 }
 
+// recycle returns an executed or canceled event to the free list.
+// Bumping gen invalidates any simTimer still holding the event, and
+// clearing fn/proc drops the closure for the garbage collector.
+// Callers must hold s.mu.
+func (s *Sim) recycle(e *event) {
+	e.gen++
+	e.fn = nil
+	e.proc = nil
+	s.freeEv = append(s.freeEv, e)
+}
+
+// eventHeap is a hand-rolled binary min-heap ordered by (key, seq).
+// Heap operations dominate busy simulations, so ordering compares two
+// pre-computed int64s instead of time.Time values through the
+// container/heap interface.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+func (h eventHeap) less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index, h[j].index = i, j
+
+func (h *eventHeap) push(e *event) {
+	a := append(*h, e)
+	*h = a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !a.less(i, p) {
+			break
+		}
+		a[i], a[p] = a[p], a[i]
+		i = p
+	}
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+
+func (h *eventHeap) pop() *event {
+	a := *h
+	n := len(a) - 1
+	e := a[0]
+	a[0] = a[n]
+	a[n] = nil
+	a = a[:n]
+	*h = a
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && a.less(r, l) {
+			m = r
+		}
+		if !a.less(m, i) {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
 	return e
 }
 
 // proc is one cooperative process. Control is handed to the process by
 // sending on wake; the process returns control by sending on yield.
+// Procs are pooled: the backing goroutine loops, running one body
+// function per lease, so repeated Go calls reuse goroutines and
+// channels instead of allocating fresh ones.
 type proc struct {
 	wake  chan struct{}
 	yield chan struct{}
+	fn    func() // body for the current lease
 }
 
 // Now returns the current virtual time.
@@ -93,9 +137,17 @@ func (s *Sim) schedule(d time.Duration, fn func(), p *proc) *event {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	e := &event{at: s.now.Add(d), seq: s.seq, fn: fn, proc: p}
+	at := s.now.Add(d)
+	var e *event
+	if n := len(s.freeEv); n > 0 {
+		e = s.freeEv[n-1]
+		s.freeEv = s.freeEv[:n-1]
+		e.key, e.at, e.seq, e.fn, e.proc, e.canceled = at.UnixNano(), at, s.seq, fn, p, false
+	} else {
+		e = &event{key: at.UnixNano(), at: at, seq: s.seq, fn: fn, proc: p}
+	}
 	s.seq++
-	heap.Push(&s.events, e)
+	s.events.push(e)
 	return e
 }
 
@@ -104,7 +156,7 @@ func (s *Sim) schedule(d time.Duration, fn func(), p *proc) *event {
 // Trigger.Wait directly (start a process with Go for that).
 func (s *Sim) AfterFunc(d time.Duration, fn func()) Timer {
 	e := s.schedule(d, fn, nil)
-	return simTimer{s, e}
+	return simTimer{s, e, e.gen}
 }
 
 // At schedules fn at absolute virtual time t (immediately if t is in
@@ -114,16 +166,19 @@ func (s *Sim) At(t time.Time, fn func()) Timer {
 }
 
 type simTimer struct {
-	s *Sim
-	e *event
+	s   *Sim
+	e   *event
+	gen uint64
 }
 
 func (t simTimer) Stop() bool {
 	t.s.mu.Lock()
 	defer t.s.mu.Unlock()
-	was := t.e.canceled
+	if t.e.gen != t.gen || t.e.canceled {
+		return false // already executed (event recycled) or already stopped
+	}
 	t.e.canceled = true
-	return !was
+	return true
 }
 
 // Go starts a cooperative process running fn. The process is scheduled
@@ -131,18 +186,30 @@ func (t simTimer) Stop() bool {
 // Trigger.Wait freely. Go may be called before Run or from within a
 // running event or process.
 func (s *Sim) Go(fn func()) {
-	p := &proc{wake: make(chan struct{}), yield: make(chan struct{})}
 	s.mu.Lock()
 	s.nprocs++
-	s.mu.Unlock()
-	go func() {
-		<-p.wake
-		fn()
-		s.mu.Lock()
-		s.nprocs--
+	var p *proc
+	if n := len(s.freePr); n > 0 {
+		p = s.freePr[n-1]
+		s.freePr = s.freePr[:n-1]
+		p.fn = fn
 		s.mu.Unlock()
-		p.yield <- struct{}{}
-	}()
+	} else {
+		p = &proc{wake: make(chan struct{}), yield: make(chan struct{}), fn: fn}
+		s.mu.Unlock()
+		go func() {
+			for {
+				<-p.wake
+				p.fn()
+				s.mu.Lock()
+				s.nprocs--
+				p.fn = nil
+				s.freePr = append(s.freePr, p)
+				s.mu.Unlock()
+				p.yield <- struct{}{}
+			}
+		}()
+	}
 	s.schedule(0, nil, p)
 }
 
@@ -171,7 +238,7 @@ func (s *Sim) currentProc() *proc {
 func (s *Sim) step(limit time.Time, hasLimit bool) bool {
 	s.mu.Lock()
 	for len(s.events) > 0 && s.events[0].canceled {
-		heap.Pop(&s.events)
+		s.recycle(s.events.pop())
 	}
 	if len(s.events) == 0 {
 		s.mu.Unlock()
@@ -183,7 +250,7 @@ func (s *Sim) step(limit time.Time, hasLimit bool) bool {
 		s.mu.Unlock()
 		return false
 	}
-	heap.Pop(&s.events)
+	s.events.pop()
 	s.now = e.at
 	s.cur = e.proc
 	s.mu.Unlock()
@@ -197,6 +264,7 @@ func (s *Sim) step(limit time.Time, hasLimit bool) bool {
 
 	s.mu.Lock()
 	s.cur = nil
+	s.recycle(e)
 	s.mu.Unlock()
 	return true
 }

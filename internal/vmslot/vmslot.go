@@ -24,6 +24,15 @@
 //     the interactive burst completes slightly faster than the
 //     proportional ideal — the reason the paper measures 8% for PL=10
 //     and 22% for PL=25 rather than the nominal values.
+//
+// Dispatching every quantum through the event heap would cost one
+// simulation event per ~10ms of contended virtual CPU — hundreds of
+// events per second of shared work, which dominates large replays.
+// Contended stretches are therefore fused (see burst in fuse.go): the
+// Machine pre-computes the slice-by-slice schedule up to the next run
+// completion and sleeps in a single event, replaying the same schedule
+// on any mid-burst mutation or query so observable behaviour matches
+// slice-at-a-time dispatch.
 package vmslot
 
 import (
@@ -70,6 +79,9 @@ type Machine struct {
 	curStart time.Time
 	curSlice time.Duration
 	curCost  time.Duration
+
+	// burst is the fused contended-dispatch state, nil outside bursts.
+	burst *burst
 }
 
 // Option configures a Machine.
@@ -143,6 +155,7 @@ func (s *Slot) SetTickets(n int) {
 	if n < 0 {
 		panic("vmslot: negative tickets")
 	}
+	s.m.interrupt()
 	if (s.tickets == 0) != (n == 0) {
 		s.pass = s.m.vtime
 		s.bgpass = s.m.bgvtime
@@ -151,11 +164,15 @@ func (s *Slot) SetTickets(n int) {
 }
 
 // Used returns the total CPU time consumed by the slot.
-func (s *Slot) Used() time.Duration { return s.used }
+func (s *Slot) Used() time.Duration {
+	s.m.interrupt()
+	return s.used
+}
 
 // Close removes the slot from its machine. Pending runs are abandoned
 // (their triggers never fire); callers stop their own work first.
 func (s *Slot) Close() {
+	s.m.interrupt()
 	s.closed = true
 	m := s.m
 	for i, sl := range m.slots {
@@ -192,11 +209,17 @@ func (s *Slot) Start(work time.Duration) *simclock.Trigger {
 		panic(fmt.Sprintf("vmslot: Run on closed slot %q", s.name))
 	}
 	r := &run{slot: s, remaining: work, done: t}
-	// Account any in-flight long slice before computing the newcomer's
-	// pass floor, so the class virtual time reflects all consumed CPU.
+	// Materialize any fused burst and account any in-flight long slice
+	// before computing the newcomer's pass floor, so the class virtual
+	// time reflects all consumed CPU.
+	s.m.interrupt()
 	s.m.preemptLongSlice()
 	s.reenter()
 	s.m.runq = append(s.m.runq, r)
+	// The preempt above may itself have redispatched and fused the
+	// pre-existing runq; materialize that burst (zero elapsed) so the
+	// newcomer is not left out of the schedule until it ends.
+	s.m.interrupt()
 	if s.m.current == nil {
 		s.m.dispatch()
 	} else {
@@ -225,6 +248,22 @@ func (s *Slot) reenter() {
 	}
 }
 
+// sliceFor returns the per-turn slice of a slot holding t tickets.
+// Ticket-weighted slices keep shares proportional even when a work
+// phase spans only a few quanta (the I/O operations of Figure 8):
+// a slot holding t tickets runs t% of the base quantum per turn.
+// Equal full-share slots degrade to plain quanta.
+func (m *Machine) sliceFor(t int) time.Duration {
+	slice := m.quantum
+	if t > 0 && t != fullShareTickets {
+		slice = time.Duration(float64(m.quantum) * float64(t) / fullShareTickets)
+		if slice < 10*time.Microsecond {
+			slice = 10 * time.Microsecond
+		}
+	}
+	return slice
+}
+
 // pick selects the next run: minimum pass among ticketed runnable
 // slots; if none, minimum background pass among zero-ticket slots.
 func (m *Machine) pick() *run {
@@ -249,23 +288,16 @@ func (m *Machine) pick() *run {
 }
 
 func (m *Machine) dispatch() {
+	if len(m.runq) >= 2 && m.fuse() {
+		return
+	}
 	r := m.pick()
 	if r == nil {
 		m.current = nil
 		return
 	}
 	m.current = r
-	// Ticket-weighted slices: a slot holding t tickets runs t% of the
-	// base quantum per turn, so shares stay proportional even when a
-	// work phase spans only a few quanta (the I/O operations of
-	// Figure 8). Equal full-share slots degrade to plain quanta.
-	slice := m.quantum
-	if t := r.slot.tickets; t > 0 && t != fullShareTickets {
-		slice = time.Duration(float64(m.quantum) * float64(t) / fullShareTickets)
-		if slice < 10*time.Microsecond {
-			slice = 10 * time.Microsecond
-		}
-	}
+	slice := m.sliceFor(r.slot.tickets)
 	if len(m.runq) == 1 {
 		// Uncontended: run everything in one slice; a future Start
 		// preempts it with exact accounting.
@@ -343,17 +375,26 @@ func (m *Machine) complete(r *run, used time.Duration) {
 // switch overhead, including the in-flight portion of the current
 // slice.
 func (m *Machine) Busy() time.Duration {
-	b := m.busyFor
+	if b := m.burst; b != nil {
+		// A contended burst keeps the CPU busy for its whole span, so
+		// busy time interpolates linearly without materializing it.
+		elapsed := m.sim.Since(b.start)
+		if elapsed > b.cost {
+			elapsed = b.cost
+		}
+		return b.busyBase + elapsed
+	}
+	busy := m.busyFor
 	if m.current != nil && m.curEvent != nil {
 		elapsed := m.sim.Since(m.curStart)
 		if elapsed > m.curCost {
 			elapsed = m.curCost
 		}
 		if elapsed > 0 {
-			b += elapsed
+			busy += elapsed
 		}
 	}
-	return b
+	return busy
 }
 
 // Runnable reports the number of outstanding runs.

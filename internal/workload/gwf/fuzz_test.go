@@ -1,6 +1,7 @@
 package gwf
 
 import (
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -20,6 +21,29 @@ var seedCorpus = []string{
 	"1e300 NaN Inf -Inf 1.5 0.25 -2 9223372036854775808 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1 NaN Inf -1 -1 # ; -1 -1 -1 -1 -1\n",
 	"#\n##\n# :\n# a:b\n",
 	"\t 3 \t 4 \n\n",
+	// Out-of-order submit offsets (stream ingest reorders these).
+	"1 700 5 60 1 -1 -1 1 -1 -1 1 12 3 -1 0 0 2 2 UNITARY -1 -1 -1 -1 -1 -1 -1 -1 vo0 p1\n" +
+		"2 0 5 60 1 -1 -1 1 -1 -1 1 12 3 -1 0 0 2 2 UNITARY -1 -1 -1 -1 -1 -1 -1 -1 vo0 p1\n",
+	// Header directives interleaved between records.
+	"# Version: 2.0\n1 0 5 60 1 -1 -1 1 -1 -1 1 12 3 -1 0 0 2 2 UNITARY -1 -1 -1 -1 -1 -1 -1 -1 vo0 p1\n" +
+		"# Site: g5k\n2 9 5 60 1 -1 -1 1 -1 -1 1 12 3 -1 0 0 2 2 UNITARY -1 -1 -1 -1 -1 -1 -1 -1 vo0 p1\n",
+}
+
+// streamAll drains a Reader, returning the records alongside any
+// terminal error (io.EOF excluded).
+func streamAll(src string, opts Options) ([]Record, []Directive, error) {
+	r := NewReader(strings.NewReader(src), opts)
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, r.Directives(), nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, rec)
+	}
 }
 
 // FuzzParseGWF asserts the tolerant parser never panics and that
@@ -52,6 +76,15 @@ func FuzzParseGWF(f *testing.F) {
 			if !reflect.DeepEqual(st, tr) {
 				t.Fatalf("strict and tolerant parses of valid input diverged\n%+v\n%+v", st, tr)
 			}
+		}
+		// Stream ≡ batch: the record iterator must yield exactly the
+		// batch parse, records and directives both.
+		recs, dirs, err := streamAll(src, Options{})
+		if err != nil {
+			t.Fatalf("stream errored where batch parsed: %v", err)
+		}
+		if !reflect.DeepEqual(recs, tr.Records) || !reflect.DeepEqual(dirs, tr.Directives) {
+			t.Fatalf("stream diverged from batch\ninput: %q", src)
 		}
 	})
 }

@@ -16,11 +16,14 @@ package gwf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
 	"strings"
+
+	"crossbroker/internal/workload/scanio"
 )
 
 // NumFields is the number of fields in one GWF record.
@@ -136,33 +139,82 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("gwf: line %d: %s", e.Line, e.Msg)
 }
 
-// Parse reads a GWF stream.
-func Parse(r io.Reader, opts Options) (*Trace, error) {
-	t := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+// Reader streams GWF records one at a time, sharing the batch
+// parser's line handling: blank lines are skipped, `# Key: value`
+// header comments accumulate into Directives (they may interleave
+// with records), and each remaining line parses as one Record under
+// the configured tolerance. Memory use is one line, independent of
+// trace length.
+type Reader struct {
+	sc         *scanio.Scanner
+	opts       Options
+	directives []Directive
+}
+
+// NewReader returns a streaming reader over r.
+func NewReader(r io.Reader, opts Options) *Reader {
+	return &Reader{sc: scanio.New(r), opts: opts}
+}
+
+// Next returns the next job record. It returns io.EOF when the input
+// is exhausted, a *ParseError for a rejected record (strict mode) or
+// an over-long line, and the underlying reader's error otherwise.
+func (r *Reader) Next() (Record, error) {
+	for {
+		text, line, err := r.sc.Next()
+		if err != nil {
+			return Record{}, readErr(err)
+		}
+		text = strings.TrimSpace(text)
 		switch {
 		case text == "":
 			continue
 		case strings.HasPrefix(text, "#"):
 			if d, ok := parseDirective(text); ok {
-				t.Directives = append(t.Directives, d)
+				r.directives = append(r.directives, d)
 			}
 		default:
-			rec, err := parseRecord(text, line, opts.Strict)
-			if err != nil {
-				return nil, err
-			}
-			t.Records = append(t.Records, rec)
+			return parseRecord(text, line, r.opts.Strict)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("gwf: %w", err)
+}
+
+// Directives returns the header directives seen so far, in file
+// order. The full set is available once Next has returned io.EOF.
+func (r *Reader) Directives() []Directive { return r.directives }
+
+// Line returns the input line number of the most recent read.
+func (r *Reader) Line() int { return r.sc.Line() }
+
+// readErr converts scanner failures into this package's error shape;
+// io.EOF passes through as the stream terminator.
+func readErr(err error) error {
+	if err == io.EOF {
+		return io.EOF
 	}
+	var tl *scanio.TooLongError
+	if errors.As(err, &tl) {
+		return &ParseError{Line: tl.Line, Msg: fmt.Sprintf("line exceeds the %d-byte limit", scanio.MaxLine)}
+	}
+	return fmt.Errorf("gwf: %w", err)
+}
+
+// Parse reads a whole GWF stream; it is the collect-all wrapper over
+// Reader.
+func Parse(r io.Reader, opts Options) (*Trace, error) {
+	rd := NewReader(r, opts)
+	t := &Trace{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+	t.Directives = rd.Directives()
 	return t, nil
 }
 
@@ -242,43 +294,55 @@ var kinds = [NumFields]fieldKind{
 }
 
 func parseRecord(text string, line int, strict bool) (Record, error) {
-	fields := strings.Fields(text)
-	if strict && len(fields) != NumFields {
-		return Record{}, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want %d", len(fields), NumFields)}
+	// Tokenize into a fixed scratch array: record parsing runs once
+	// per trace line, and strings.Fields' slice allocation was a
+	// measurable share of streamed-ingest garbage.
+	var fields [NumFields]string
+	nf := scanio.Fields(text, fields[:])
+	if strict && nf != NumFields {
+		return Record{}, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want %d", nf, NumFields)}
 	}
 	var rec Record
-	ints := map[int]*int64{
-		0: &rec.JobID, 1: &rec.Submit, 2: &rec.Wait, 3: &rec.Runtime,
-		4: &rec.Procs, 6: &rec.UsedMem, 7: &rec.ReqProcs, 8: &rec.ReqTime,
-		9: &rec.ReqMem, 10: &rec.Status, 11: &rec.User, 12: &rec.Group,
-		13: &rec.Executable, 14: &rec.Queue, 15: &rec.Partition,
-		16: &rec.OrigSite, 17: &rec.LastRunSite,
-	}
-	floats := map[int]*float64{
-		5: &rec.AvgCPU, 20: &rec.UsedNetwork, 21: &rec.UsedDisk,
-		24: &rec.ReqNetwork, 25: &rec.ReqDisk,
-	}
-	strs := map[int]*string{
-		18: &rec.Structure, 19: &rec.StructureParams,
-		22: &rec.UsedResources, 23: &rec.ReqPlatform,
-		26: &rec.ReqResources, 27: &rec.VO, 28: &rec.Project,
-	}
 	for i := 0; i < NumFields; i++ {
-		var tok string
-		if i < len(fields) {
+		tok := missingStr
+		if i < nf {
 			tok = fields[i]
-		} else {
-			tok = missingStr
 		}
 		switch kinds[i] {
 		case stringKind:
-			*strs[i] = tok
+			switch i {
+			case 18:
+				rec.Structure = tok
+			case 19:
+				rec.StructureParams = tok
+			case 22:
+				rec.UsedResources = tok
+			case 23:
+				rec.ReqPlatform = tok
+			case 26:
+				rec.ReqResources = tok
+			case 27:
+				rec.VO = tok
+			case 28:
+				rec.Project = tok
+			}
 		case floatKind:
 			v, err := numField(tok, line, i, strict)
 			if err != nil {
 				return Record{}, err
 			}
-			*floats[i] = v
+			switch i {
+			case 5:
+				rec.AvgCPU = v
+			case 20:
+				rec.UsedNetwork = v
+			case 21:
+				rec.UsedDisk = v
+			case 24:
+				rec.ReqNetwork = v
+			case 25:
+				rec.ReqDisk = v
+			}
 		default:
 			v, err := numField(tok, line, i, strict)
 			if err != nil {
@@ -288,7 +352,42 @@ func parseRecord(text string, line int, strict bool) (Record, error) {
 			if err != nil {
 				return Record{}, err
 			}
-			*ints[i] = n
+			switch i {
+			case 0:
+				rec.JobID = n
+			case 1:
+				rec.Submit = n
+			case 2:
+				rec.Wait = n
+			case 3:
+				rec.Runtime = n
+			case 4:
+				rec.Procs = n
+			case 6:
+				rec.UsedMem = n
+			case 7:
+				rec.ReqProcs = n
+			case 8:
+				rec.ReqTime = n
+			case 9:
+				rec.ReqMem = n
+			case 10:
+				rec.Status = n
+			case 11:
+				rec.User = n
+			case 12:
+				rec.Group = n
+			case 13:
+				rec.Executable = n
+			case 14:
+				rec.Queue = n
+			case 15:
+				rec.Partition = n
+			case 16:
+				rec.OrigSite = n
+			case 17:
+				rec.LastRunSite = n
+			}
 		}
 	}
 	return rec, nil

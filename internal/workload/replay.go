@@ -55,6 +55,17 @@ func traceUser(id int64) string {
 // carry neither a runtime nor a requested time, or no submit time.
 // The first-seen submit offset is rebased to zero by the caller.
 func normalize(id, submit, runtime, reqTime, procs, reqProcs, user int64) (TraceJob, bool) {
+	j, ok := normalizeFields(id, submit, runtime, reqTime, procs, reqProcs)
+	if ok {
+		j.User = traceUser(user)
+	}
+	return j, ok
+}
+
+// normalizeFields is normalize without the user string, so streaming
+// ingest can intern user identities instead of allocating one per
+// record.
+func normalizeFields(id, submit, runtime, reqTime, procs, reqProcs int64) (TraceJob, bool) {
 	if submit < 0 {
 		return TraceJob{}, false
 	}
@@ -77,7 +88,6 @@ func normalize(id, submit, runtime, reqTime, procs, reqProcs, user int64) (Trace
 		Submit:  time.Duration(submit) * time.Second,
 		Runtime: time.Duration(rt) * time.Second,
 		Nodes:   int(n),
-		User:    traceUser(user),
 	}, true
 }
 
@@ -137,32 +147,44 @@ func rebase(jobs []TraceJob) []TraceJob {
 // .gwf, case-insensitive), and normalizes it. Parsing is tolerant;
 // pass strict to validate fixtures instead.
 func LoadTrace(path string, strict bool) ([]TraceJob, error) {
+	jobs, _, err := LoadTraceCounted(path, strict)
+	return jobs, err
+}
+
+// LoadTraceCounted is LoadTrace, but it also reports how many records
+// normalization dropped (no submit time, or neither a runtime nor a
+// requested time) — silently losing that count hid data-quality
+// problems in replayed archives.
+func LoadTraceCounted(path string, strict bool) ([]TraceJob, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer f.Close()
-	var jobs []TraceJob
+	var (
+		jobs    []TraceJob
+		dropped int
+	)
 	switch ext := filepath.Ext(path); {
 	case strings.EqualFold(ext, ".swf"):
 		t, err := swf.Parse(f, swf.Options{Strict: strict})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		jobs, _ = FromSWF(t)
+		jobs, dropped = FromSWF(t)
 	case strings.EqualFold(ext, ".gwf"):
 		t, err := gwf.Parse(f, gwf.Options{Strict: strict})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
-		jobs, _ = FromGWF(t)
+		jobs, dropped = FromGWF(t)
 	default:
-		return nil, fmt.Errorf("workload: %s: unknown trace extension (want .swf or .gwf)", path)
+		return nil, 0, fmt.Errorf("workload: %s: unknown trace extension (want .swf or .gwf)", path)
 	}
 	if len(jobs) == 0 {
-		return nil, fmt.Errorf("%w: %s", ErrNoUsableRecords, path)
+		return nil, dropped, fmt.Errorf("%w: %s", ErrNoUsableRecords, path)
 	}
-	return jobs, nil
+	return jobs, dropped, nil
 }
 
 // ClassifyRule is the interactive/batch heuristic applied to trace
@@ -333,3 +355,11 @@ func (r *Replay) Next() (Job, time.Duration, bool) {
 
 // Reset rewinds the stream to the first job.
 func (r *Replay) Reset() { r.next = 0 }
+
+// Err reports no error: a materialized replay cannot fail mid-stream.
+// With Close, it lets *Replay satisfy ReplayStream so experiment code
+// is agnostic about whether a trace was materialized or streamed.
+func (r *Replay) Err() error { return nil }
+
+// Close is a no-op; the jobs are in memory.
+func (r *Replay) Close() error { return nil }

@@ -1,0 +1,101 @@
+// Package scanio holds the line-scanner policy shared by the SWF and
+// GWF workload-log parsers: a bufio.Scanner sized for archive logs
+// (64 KiB initial buffer, 1 MiB line cap) with 1-based line counting,
+// so batch and streaming readers in both packages agree on buffers
+// and on how an over-long line is reported.
+//
+// A line exceeding the cap surfaces as a *TooLongError carrying the
+// offending line number (and unwrapping to bufio.ErrTooLong), instead
+// of the bare, position-free scanner error — the format packages wrap
+// it into their own line-numbered ParseError.
+package scanio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+const (
+	// initialBuf is the scanner's starting buffer size.
+	initialBuf = 64 * 1024
+	// MaxLine is the longest accepted input line.
+	MaxLine = 1024 * 1024
+)
+
+// TooLongError reports an input line exceeding MaxLine.
+type TooLongError struct {
+	// Line is the 1-based number of the over-long line.
+	Line int
+}
+
+func (e *TooLongError) Error() string {
+	return fmt.Sprintf("line %d exceeds the %d-byte line limit", e.Line, MaxLine)
+}
+
+// Unwrap lets errors.Is(err, bufio.ErrTooLong) keep working.
+func (e *TooLongError) Unwrap() error { return bufio.ErrTooLong }
+
+// Scanner yields input lines with their 1-based line numbers.
+type Scanner struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// New wraps r in a Scanner with the shared buffer policy.
+func New(r io.Reader) *Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, initialBuf), MaxLine)
+	return &Scanner{sc: sc}
+}
+
+// Next returns the next line and its number. It returns io.EOF when
+// the input is exhausted, a *TooLongError for an over-long line, and
+// the underlying reader's error otherwise.
+func (s *Scanner) Next() (text string, line int, err error) {
+	if s.sc.Scan() {
+		s.line++
+		return s.sc.Text(), s.line, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			return "", s.line + 1, &TooLongError{Line: s.line + 1}
+		}
+		return "", s.line + 1, err
+	}
+	return "", s.line, io.EOF
+}
+
+// Line returns the number of the most recently scanned line.
+func (s *Scanner) Line() int { return s.line }
+
+// Fields splits s around runs of ASCII whitespace into dst and
+// returns the total number of fields in s, which may exceed len(dst)
+// (the extras are counted but not stored). Unlike strings.Fields it
+// performs no allocation, so the per-record parsers can tokenize into
+// a stack-resident scratch array.
+func Fields(s string, dst []string) int {
+	n := 0
+	i := 0
+	for {
+		for i < len(s) && asciiSpace(s[i]) {
+			i++
+		}
+		if i == len(s) {
+			return n
+		}
+		start := i
+		for i < len(s) && !asciiSpace(s[i]) {
+			i++
+		}
+		if n < len(dst) {
+			dst[n] = s[start:i]
+		}
+		n++
+	}
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}

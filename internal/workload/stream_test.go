@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// drainTraceReader collects a TraceReader to the end, failing the test
+// on any non-EOF error.
+func drainTraceReader(t *testing.T, tr *TraceReader) []TraceJob {
+	t.Helper()
+	var jobs []TraceJob
+	for {
+		j, err := tr.Next()
+		if err == io.EOF {
+			return jobs
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+}
+
+// Property: streaming ingest reproduces the batch loader exactly on
+// every golden fixture — same jobs in the same order, same drop count.
+func TestTraceReaderMatchesLoadTrace(t *testing.T) {
+	for _, name := range []string{"ctc_sp2.swf", "grid5000.gwf"} {
+		for _, strict := range []bool{false, true} {
+			path := "testdata/" + name
+			want, wantDropped, err := LoadTraceCounted(path, strict)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			tr, err := OpenTraceReader(path, TraceReaderOptions{Strict: strict})
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			got := drainTraceReader(t, tr)
+			if err := tr.Close(); err != nil {
+				t.Fatalf("%s: close: %v", name, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s strict=%v: streamed jobs diverge from batch\ngot:  %+v\nwant: %+v", name, strict, got, want)
+			}
+			if tr.Dropped() != wantDropped {
+				t.Fatalf("%s strict=%v: Dropped() = %d, want %d", name, strict, tr.Dropped(), wantDropped)
+			}
+			if tr.Clamped() != 0 {
+				t.Fatalf("%s: unexpected clamps: %d", name, tr.Clamped())
+			}
+		}
+	}
+}
+
+// Property: StreamReplay yields the identical (Job, delay) sequence
+// to the batch Replay for every fixture across window slices and
+// speedups — the streamed path is a drop-in for the materialized one.
+func TestStreamReplayMatchesReplay(t *testing.T) {
+	configs := []ReplayConfig{
+		{},
+		{Speedup: 2},
+		{Speedup: 4},
+		{StartHour: 0.25, EndHour: 2},
+		{StartHour: 0.25, EndHour: 2, Speedup: 4},
+		{StartHour: 1},
+		{EndHour: 0.5, Speedup: 0.5},
+	}
+	for _, name := range []string{"ctc_sp2.swf", "grid5000.gwf"} {
+		path := "testdata/" + name
+		jobs, err := LoadTrace(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range configs {
+			batch, err := NewReplay(jobs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := OpenTraceReader(path, TraceReaderOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stream, err := NewStreamReplay(tr, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			step := 0
+			for {
+				bj, bd, bok := batch.Next()
+				sj, sd, sok := stream.Next()
+				if bok != sok {
+					t.Fatalf("%s cfg[%d] step %d: batch ok=%v stream ok=%v", name, i, step, bok, sok)
+				}
+				if !bok {
+					break
+				}
+				if bj != sj || bd != sd {
+					t.Fatalf("%s cfg[%d] step %d:\nbatch  %+v after %v\nstream %+v after %v", name, i, step, bj, bd, sj, sd)
+				}
+				step++
+			}
+			if err := stream.Err(); err != nil {
+				t.Fatalf("%s cfg[%d]: stream err: %v", name, i, err)
+			}
+			if stream.Count() != batch.Len() {
+				t.Fatalf("%s cfg[%d]: Count() = %d, want %d", name, i, stream.Count(), batch.Len())
+			}
+			if err := stream.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// swfLine renders a minimal valid record with the given ID and submit
+// offset so reorder tests can shape arrival order precisely.
+func swfLine(id, submit int64) string {
+	return fmt.Sprintf("%d %d -1 60 1 -1 -1 1 -1 -1 1 %d 1 -1 -1 -1 -1 -1\n", id, submit, id%3)
+}
+
+// Displacement within the reorder window sorts records into exact
+// batch order, including a late-arriving global minimum that sets the
+// rebase origin.
+func TestTraceReaderReorderWithinWindow(t *testing.T) {
+	var sb strings.Builder
+	for _, s := range []int64{40, 10, 20, 30, 0, 50} { // min arrives 4 late
+		sb.WriteString(swfLine(s+1, s))
+	}
+	tr := NewTraceReader(strings.NewReader(sb.String()), FormatSWF, TraceReaderOptions{Strict: true, ReorderWindow: 4})
+	jobs := drainTraceReader(t, tr)
+	for i, want := range []int64{0, 10, 20, 30, 40, 50} {
+		if jobs[i].Submit != time.Duration(want)*time.Second {
+			t.Fatalf("job %d rebased submit = %v, want %vs", i, jobs[i].Submit, want)
+		}
+	}
+	if tr.Clamped() != 0 {
+		t.Fatalf("Clamped() = %d, want 0", tr.Clamped())
+	}
+}
+
+// Displacement past the window is an error in strict mode and a
+// counted monotone clamp in tolerant mode.
+func TestTraceReaderReorderBeyondWindow(t *testing.T) {
+	var sb strings.Builder
+	for _, s := range []int64{100, 110, 120, 130, 140, 5} { // 5 is displaced by 5
+		sb.WriteString(swfLine(s, s))
+	}
+	src := sb.String()
+
+	tr := NewTraceReader(strings.NewReader(src), FormatSWF, TraceReaderOptions{Strict: true, ReorderWindow: 4})
+	var err error
+	for err == nil {
+		_, err = tr.Next()
+	}
+	if err == io.EOF || !strings.Contains(err.Error(), "reorder window") {
+		t.Fatalf("strict err = %v, want reorder-window error", err)
+	}
+	if _, again := tr.Next(); again != err {
+		t.Fatalf("error not sticky: %v then %v", err, again)
+	}
+
+	tr = NewTraceReader(strings.NewReader(src), FormatSWF, TraceReaderOptions{ReorderWindow: 4})
+	jobs := drainTraceReader(t, tr)
+	if tr.Clamped() != 1 {
+		t.Fatalf("Clamped() = %d, want 1", tr.Clamped())
+	}
+	last := time.Duration(-1)
+	for _, j := range jobs {
+		if j.Submit < last {
+			t.Fatalf("tolerant stream not monotone: %v after %v", j.Submit, last)
+		}
+		last = j.Submit
+	}
+	if len(jobs) != 6 {
+		t.Fatalf("len = %d, want 6 (clamp keeps the record)", len(jobs))
+	}
+}
+
+// A window of zero (negative option) still streams an already-sorted
+// trace correctly.
+func TestTraceReaderNoReorderWindow(t *testing.T) {
+	src := swfLine(1, 0) + swfLine(2, 10) + swfLine(3, 20)
+	tr := NewTraceReader(strings.NewReader(src), FormatSWF, TraceReaderOptions{Strict: true, ReorderWindow: -1})
+	if jobs := drainTraceReader(t, tr); len(jobs) != 3 || jobs[2].Submit != 20*time.Second {
+		t.Fatalf("jobs = %+v", jobs)
+	}
+}
+
+// Ingest must stay frugal: the reorder heap, record parsing and user
+// interning together spend a small constant number of allocations per
+// record. The ceiling catches accidental per-record garbage (maps,
+// boxed heap entries, un-interned strings) sneaking back in.
+func TestTraceReaderAllocsPerRecord(t *testing.T) {
+	const n = 2000
+	var sb strings.Builder
+	for i := int64(0); i < n; i++ {
+		sb.WriteString(swfLine(i+1, i*3))
+	}
+	src := sb.String()
+	avg := testing.AllocsPerRun(5, func() {
+		tr := NewTraceReader(strings.NewReader(src), FormatSWF, TraceReaderOptions{})
+		for {
+			if _, err := tr.Next(); err != nil {
+				break
+			}
+		}
+	})
+	if perRec := avg / n; perRec > 6 {
+		t.Fatalf("ingest allocates %.2f per record, ceiling 6", perRec)
+	}
+}
+
+// StreamReplay surfaces ingest errors through Err, not a panic or a
+// silent truncation.
+func TestStreamReplayErr(t *testing.T) {
+	tr := NewTraceReader(strings.NewReader("not a record\n"), FormatSWF, TraceReaderOptions{Strict: true})
+	s, err := NewStreamReplay(tr, ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Next(); ok {
+		t.Fatal("Next succeeded on a malformed trace")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() = nil, want parse error")
+	}
+}
+
+// StreamReplay satisfies the ReplayStream interface.
+var _ ReplayStream = (*StreamReplay)(nil)

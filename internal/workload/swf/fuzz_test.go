@@ -1,6 +1,7 @@
 package swf
 
 import (
+	"io"
 	"reflect"
 	"strings"
 	"testing"
@@ -21,6 +22,30 @@ var seedCorpus = []string{
 	";\n;;\n; :\n; a:b\n", // directive edge cases
 	"\t 3 \t 4 \n\n",      // odd whitespace
 	"0.5 -0.5 -0 1e-300 7 7 7 7 7 7 7 7 7 7 7 7 7 7\n",
+	// Out-of-order submit offsets (stream ingest reorders these).
+	"1 900 -1 60 1 -1 -1 1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"2 0 -1 60 1 -1 -1 1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"3 450 -1 60 1 -1 -1 1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n",
+	// Header directives interleaved between records.
+	"; Version: 2\n1 0 -1 60 1 -1 -1 1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n" +
+		"; MaxNodes: 4\n2 5 -1 60 1 -1 -1 1 -1 -1 1 1 1 -1 -1 -1 -1 -1\n; MaxJobs: 2\n",
+}
+
+// streamAll drains a Reader, returning the records alongside any
+// terminal error (io.EOF excluded).
+func streamAll(src string, opts Options) ([]Record, []Directive, error) {
+	r := NewReader(strings.NewReader(src), opts)
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return recs, r.Directives(), nil
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, rec)
+	}
 }
 
 // FuzzParseSWF asserts the tolerant parser never panics and that
@@ -56,6 +81,15 @@ func FuzzParseSWF(f *testing.F) {
 			if !reflect.DeepEqual(st, tr) {
 				t.Fatalf("strict and tolerant parses of valid input diverged\n%+v\n%+v", st, tr)
 			}
+		}
+		// Stream ≡ batch: the record iterator must yield exactly the
+		// batch parse, records and directives both.
+		recs, dirs, err := streamAll(src, Options{})
+		if err != nil {
+			t.Fatalf("stream errored where batch parsed: %v", err)
+		}
+		if !reflect.DeepEqual(recs, tr.Records) || !reflect.DeepEqual(dirs, tr.Directives) {
+			t.Fatalf("stream diverged from batch\ninput: %q", src)
 		}
 		_ = strings.Count(out, "\n")
 	})

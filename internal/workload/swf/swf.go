@@ -18,11 +18,14 @@ package swf
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
 	"strings"
+
+	"crossbroker/internal/workload/scanio"
 )
 
 // NumFields is the number of fields in one SWF record.
@@ -116,33 +119,82 @@ func (e *ParseError) Error() string {
 	return fmt.Sprintf("swf: line %d: %s", e.Line, e.Msg)
 }
 
-// Parse reads an SWF stream.
-func Parse(r io.Reader, opts Options) (*Trace, error) {
-	t := &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
+// Reader streams SWF records one at a time, sharing the batch
+// parser's line handling: blank lines are skipped, `; Key: value`
+// header comments accumulate into Directives (they may interleave
+// with records), and each remaining line parses as one Record under
+// the configured tolerance. Memory use is one line, independent of
+// trace length.
+type Reader struct {
+	sc         *scanio.Scanner
+	opts       Options
+	directives []Directive
+}
+
+// NewReader returns a streaming reader over r.
+func NewReader(r io.Reader, opts Options) *Reader {
+	return &Reader{sc: scanio.New(r), opts: opts}
+}
+
+// Next returns the next job record. It returns io.EOF when the input
+// is exhausted, a *ParseError for a rejected record (strict mode) or
+// an over-long line, and the underlying reader's error otherwise.
+func (r *Reader) Next() (Record, error) {
+	for {
+		text, line, err := r.sc.Next()
+		if err != nil {
+			return Record{}, readErr(err)
+		}
+		text = strings.TrimSpace(text)
 		switch {
 		case text == "":
 			continue
 		case strings.HasPrefix(text, ";"):
 			if d, ok := parseDirective(text, ";"); ok {
-				t.Directives = append(t.Directives, d)
+				r.directives = append(r.directives, d)
 			}
 		default:
-			rec, err := parseRecord(text, line, opts.Strict)
-			if err != nil {
-				return nil, err
-			}
-			t.Records = append(t.Records, rec)
+			return parseRecord(text, line, r.opts.Strict)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("swf: %w", err)
+}
+
+// Directives returns the header directives seen so far, in file
+// order. The full set is available once Next has returned io.EOF.
+func (r *Reader) Directives() []Directive { return r.directives }
+
+// Line returns the input line number of the most recent read.
+func (r *Reader) Line() int { return r.sc.Line() }
+
+// readErr converts scanner failures into this package's error shape;
+// io.EOF passes through as the stream terminator.
+func readErr(err error) error {
+	if err == io.EOF {
+		return io.EOF
 	}
+	var tl *scanio.TooLongError
+	if errors.As(err, &tl) {
+		return &ParseError{Line: tl.Line, Msg: fmt.Sprintf("line exceeds the %d-byte limit", scanio.MaxLine)}
+	}
+	return fmt.Errorf("swf: %w", err)
+}
+
+// Parse reads a whole SWF stream; it is the collect-all wrapper over
+// Reader.
+func Parse(r io.Reader, opts Options) (*Trace, error) {
+	rd := NewReader(r, opts)
+	t := &Trace{}
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+	t.Directives = rd.Directives()
 	return t, nil
 }
 
@@ -209,40 +261,68 @@ func intField(v float64, line, idx int, strict bool) (int64, error) {
 }
 
 func parseRecord(text string, line int, strict bool) (Record, error) {
-	fields := strings.Fields(text)
-	if strict && len(fields) != NumFields {
-		return Record{}, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want %d", len(fields), NumFields)}
-	}
-	vals := [NumFields]float64{}
-	for i := range vals {
-		vals[i] = Missing
-	}
-	for i := 0; i < NumFields && i < len(fields); i++ {
-		v, err := fieldVal(fields[i], line, i, strict)
-		if err != nil {
-			return Record{}, err
-		}
-		vals[i] = v
+	// Tokenize into a fixed scratch array: record parsing runs once
+	// per trace line, and strings.Fields' slice allocation was a
+	// measurable share of streamed-ingest garbage.
+	var fields [NumFields]string
+	nf := scanio.Fields(text, fields[:])
+	if strict && nf != NumFields {
+		return Record{}, &ParseError{Line: line, Msg: fmt.Sprintf("%d fields, want %d", nf, NumFields)}
 	}
 	var rec Record
-	ints := [...]*int64{
-		0: &rec.JobID, 1: &rec.Submit, 2: &rec.Wait, 3: &rec.Runtime,
-		4: &rec.Procs, 6: &rec.UsedMem, 7: &rec.ReqProcs, 8: &rec.ReqTime,
-		9: &rec.ReqMem, 10: &rec.Status, 11: &rec.User, 12: &rec.Group,
-		13: &rec.Executable, 14: &rec.Queue, 15: &rec.Partition,
-		16: &rec.PrevJob, 17: &rec.ThinkTime,
-	}
-	for i, dst := range ints {
-		if dst == nil { // field 6 (AvgCPU) stays float
+	for i := 0; i < NumFields; i++ {
+		v := float64(Missing)
+		if i < nf {
+			var err error
+			if v, err = fieldVal(fields[i], line, i, strict); err != nil {
+				return Record{}, err
+			}
+		}
+		if i == 5 { // field 6 (AvgCPU) stays float
+			rec.AvgCPU = v
 			continue
 		}
-		n, err := intField(vals[i], line, i, strict)
+		n, err := intField(v, line, i, strict)
 		if err != nil {
 			return Record{}, err
 		}
-		*dst = n
+		switch i {
+		case 0:
+			rec.JobID = n
+		case 1:
+			rec.Submit = n
+		case 2:
+			rec.Wait = n
+		case 3:
+			rec.Runtime = n
+		case 4:
+			rec.Procs = n
+		case 6:
+			rec.UsedMem = n
+		case 7:
+			rec.ReqProcs = n
+		case 8:
+			rec.ReqTime = n
+		case 9:
+			rec.ReqMem = n
+		case 10:
+			rec.Status = n
+		case 11:
+			rec.User = n
+		case 12:
+			rec.Group = n
+		case 13:
+			rec.Executable = n
+		case 14:
+			rec.Queue = n
+		case 15:
+			rec.Partition = n
+		case 16:
+			rec.PrevJob = n
+		case 17:
+			rec.ThinkTime = n
+		}
 	}
-	rec.AvgCPU = vals[5]
 	return rec, nil
 }
 
