@@ -282,10 +282,18 @@ func (q *Queue) CrashAll() {
 		h.Done.Fire()
 	}
 	q.pending = nil
+	// Kill in submission order: q.jobs is a map, and job bodies emit
+	// trace events from their Killed hooks, so iteration order must be
+	// deterministic.
+	running := make([]*Handle, 0, len(q.jobs))
 	for _, h := range q.jobs {
 		if h.st == Running {
-			h.exec.Killed.Fire()
+			running = append(running, h)
 		}
+	}
+	sort.Slice(running, func(i, j int) bool { return running[i].seq < running[j].seq })
+	for _, h := range running {
+		h.exec.Killed.Fire()
 	}
 }
 

@@ -83,12 +83,31 @@ type FairShare interface {
 	SetTotal(cpus int)
 }
 
+// Directory is the broker's window onto the information system:
+// the shared *infosys.Service, or a per-broker *infosys.View in a
+// federation (a split-brain freezes each broker's view
+// independently).
+type Directory interface {
+	// Snapshot returns the whole-grid view, charging query latency.
+	Snapshot() *infosys.Snapshot
+	// Discover starts a paged traversal, charging query latency once.
+	Discover(pageSize int) *infosys.Cursor
+	// Publish lands a site record in the shared registry.
+	Publish(rec infosys.SiteRecord) error
+	// Remove deletes a site record from the shared registry.
+	Remove(name string)
+}
+
 // Config parametrizes the broker.
 type Config struct {
 	// Sim is the simulation clock everything runs on.
 	Sim *simclock.Sim
+	// Name identifies this broker in a federation; it prefixes job IDs
+	// so two brokers' submissions never collide in a merged trace.
+	// Empty — the single-broker default — keeps the classic "cb" prefix.
+	Name string
 	// Info is the information system used for resource discovery.
-	Info *infosys.Service
+	Info Directory
 	// Fair is the fair-share policy; nil disables accounting.
 	Fair FairShare
 	// Seed drives randomized resource selection.
@@ -100,6 +119,13 @@ type Config struct {
 	// LeaseDuration is the exclusive-temporal-access window per
 	// matched CPU (default 30 s).
 	LeaseDuration time.Duration
+	// LeaseJitter spreads each lease's expiry by a seeded random
+	// fraction in [0, LeaseJitter) of LeaseDuration, so federated
+	// brokers whose leases were acquired in the same tick do not all
+	// re-probe the grid at the same instant (synchronized probe
+	// storms). Default 0: exact expiries, preserving the single-broker
+	// rng stream.
+	LeaseJitter float64
 	// QueueTimeout is how long an interactive job may sit in a remote
 	// queue before the broker kills and resubmits it (default 10 s).
 	QueueTimeout time.Duration
@@ -402,6 +428,10 @@ type Broker struct {
 	pendingBatch []*Handle
 	seq          int
 	dispatching  bool
+
+	// offloader is the federation's queue-pressure hook (SetOffloader);
+	// nil outside a federation.
+	offloader func(h *Handle) bool
 }
 
 // agentEntry pairs a registered agent with its hosting site in the
@@ -517,8 +547,12 @@ func (b *Broker) Submit(req Request) (*Handle, error) {
 		req.User = "anonymous"
 	}
 	b.seq++
+	prefix := b.cfg.Name
+	if prefix == "" {
+		prefix = "cb"
+	}
 	h := &Handle{
-		ID:          fmt.Sprintf("cb-%06d", b.seq),
+		ID:          fmt.Sprintf("%s-%06d", prefix, b.seq),
 		FirstOutput: b.sim.NewTrigger(),
 		Done:        b.sim.NewTrigger(),
 		state:       Pending,
@@ -530,6 +564,75 @@ func (b *Broker) Submit(req Request) (*Handle, error) {
 	b.sim.Go(func() { b.route(h) })
 	return h, nil
 }
+
+// SubmitTransferred adopts a job shipped from a peer broker. The
+// handle keeps the origin-assigned ID and resubmission count, so the
+// merged federation trace stays monotone per job, and no Submitted
+// event is emitted — the origin already emitted it, and the checker
+// requires exactly one lifecycle per ID. The caller (the federation
+// transfer protocol) guarantees at most one broker routes the job at
+// a time.
+func (b *Broker) SubmitTransferred(req Request, id string, attempt int) (*Handle, error) {
+	if req.Job == nil {
+		return nil, fmt.Errorf("broker: request without job")
+	}
+	if err := req.Job.Validate(); err != nil {
+		return nil, err
+	}
+	if req.User == "" {
+		req.User = "anonymous"
+	}
+	h := &Handle{
+		ID:          id,
+		FirstOutput: b.sim.NewTrigger(),
+		Done:        b.sim.NewTrigger(),
+		state:       Pending,
+		request:     req,
+		resub:       attempt,
+		abort:       b.sim.NewTrigger(),
+		submittedAt: b.sim.Now(),
+	}
+	b.sim.Go(func() { b.route(h) })
+	return h, nil
+}
+
+// SetOffloader installs the federation's queue-pressure hook: it is
+// consulted whenever a batch job is about to be parked in the broker
+// queue, and returning true means the job was shipped to a peer and
+// this broker no longer owns it. Nil (the default) disables
+// offloading.
+func (b *Broker) SetOffloader(fn func(h *Handle) bool) { b.offloader = fn }
+
+// WithdrawQueued removes a job from the broker queue if it is still
+// parked there, reporting whether it was. The federation's orphan
+// reclaim uses it as the ownership test on a dead peer: a withdrawn
+// job provably never reached a site, so the origin may resubmit it
+// without risking double execution; a job not in the queue is being
+// (or was) scheduled and must ride out the crash where it is.
+func (b *Broker) WithdrawQueued(h *Handle) bool {
+	for i, q := range b.pendingBatch {
+		if q == h {
+			b.pendingBatch = append(b.pendingBatch[:i], b.pendingBatch[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Requeue parks a job back in the broker queue (a federation transfer
+// that could not be delivered returns home through it).
+func (b *Broker) Requeue(h *Handle) {
+	if h.state == Done || h.state == Failed {
+		return
+	}
+	b.pendingBatch = append(b.pendingBatch, h)
+	b.sim.AfterFunc(b.retryDelay(h.backoffs), b.kickDispatch)
+	h.backoffs++
+}
+
+// Request returns the submission the handle tracks (federation
+// transfers re-submit it at the receiving broker).
+func (h *Handle) Request() Request { return h.request }
 
 // jobClass names the scheduling path a job will take (trace detail).
 func jobClass(job *jdl.Job) string {
@@ -628,6 +731,15 @@ func (b *Broker) failResubmits(h *Handle) {
 type siteHealth struct {
 	fails            int
 	quarantinedUntil time.Time
+	// probing gates the half-open state to one probe in flight: the
+	// pass that claims the probe-back sets it, concurrent passes keep
+	// treating the site as quarantined until the probe resolves.
+	probing bool
+	// trippedAt and lastSuccess are the evidence federation
+	// reconciliation compares: a peer whose success on the site is
+	// newer than this broker's trip refutes the quarantine.
+	trippedAt   time.Time
+	lastSuccess time.Time
 }
 
 // noteSiteFailure records a failed interaction with a site, tripping
@@ -642,22 +754,41 @@ func (b *Broker) noteSiteFailure(name string) {
 		b.health[name] = hl
 	}
 	hl.fails++
+	hl.probing = false
 	if hl.fails >= b.cfg.QuarantineThreshold {
 		if !b.sim.Now().Before(hl.quarantinedUntil) {
 			b.cfg.Trace.Emit(trace.Event{Kind: trace.Quarantined, Site: name, N: hl.fails})
 		}
+		hl.trippedAt = b.sim.Now()
 		hl.quarantinedUntil = b.sim.Now().Add(b.cfg.QuarantineCooldown)
 	}
 }
 
-// noteSiteSuccess resets a site's circuit breaker.
+// noteSiteSuccess resets a site's circuit breaker and records the
+// success as reconciliation evidence.
 func (b *Broker) noteSiteSuccess(name string) {
+	hl := b.health[name]
+	if hl == nil {
+		hl = &siteHealth{}
+		b.health[name] = hl
+	}
+	if !hl.quarantinedUntil.IsZero() {
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.Unquarantined, Site: name})
+	}
+	hl.fails = 0
+	hl.quarantinedUntil = time.Time{}
+	hl.probing = false
+	hl.lastSuccess = b.sim.Now()
+}
+
+// noteProbeAnswered releases the half-open gate after a direct probe
+// was answered, without resetting the breaker's failure count — only
+// a successful submission (noteSiteSuccess) does that. The answer is
+// still recorded as liveness evidence for reconciliation.
+func (b *Broker) noteProbeAnswered(name string) {
 	if hl := b.health[name]; hl != nil {
-		if !hl.quarantinedUntil.IsZero() {
-			b.cfg.Trace.Emit(trace.Event{Kind: trace.Unquarantined, Site: name})
-		}
-		hl.fails = 0
-		hl.quarantinedUntil = time.Time{}
+		hl.probing = false
+		hl.lastSuccess = b.sim.Now()
 	}
 }
 
@@ -678,6 +809,8 @@ func (b *Broker) quarantineNow(name string) {
 	if !b.sim.Now().Before(hl.quarantinedUntil) {
 		b.cfg.Trace.Emit(trace.Event{Kind: trace.Quarantined, Site: name, N: hl.fails})
 	}
+	hl.probing = false
+	hl.trippedAt = b.sim.Now()
 	hl.quarantinedUntil = b.sim.Now().Add(b.cfg.QuarantineCooldown)
 }
 
@@ -685,6 +818,77 @@ func (b *Broker) quarantineNow(name string) {
 func (b *Broker) quarantined(name string) bool {
 	hl := b.health[name]
 	return hl != nil && b.sim.Now().Before(hl.quarantinedUntil)
+}
+
+// siteExcluded is the matchmaking-pass filter over quarantine state.
+// Beyond the plain time window it implements the half-open gate: the
+// first pass to reach a cooled-down tripped site claims the probe-back
+// (probing=true) and may include it; until that probe resolves,
+// concurrent passes — even in the same tick — keep the site excluded,
+// so a tentatively readmitted site sees exactly one probe in flight.
+func (b *Broker) siteExcluded(name string) bool {
+	hl := b.health[name]
+	if hl == nil {
+		return false
+	}
+	if b.sim.Now().Before(hl.quarantinedUntil) {
+		return true
+	}
+	if hl.fails >= b.cfg.QuarantineThreshold && b.cfg.QuarantineThreshold > 0 && !hl.quarantinedUntil.IsZero() {
+		if hl.probing {
+			return true
+		}
+		hl.probing = true
+	}
+	return false
+}
+
+// HealthEvidence is the per-site circuit-breaker evidence a broker
+// exposes to federation reconciliation.
+type HealthEvidence struct {
+	// Fails is the consecutive-failure count.
+	Fails int
+	// Quarantined reports whether the breaker currently excludes the
+	// site.
+	Quarantined bool
+	// TrippedAt is when the breaker last tripped (zero if never).
+	TrippedAt time.Time
+	// LastSuccess is the newest successful interaction — submission or
+	// answered probe (zero if none recorded).
+	LastSuccess time.Time
+}
+
+// SiteEvidence returns the broker's breaker evidence for a site; ok is
+// false when the broker holds no health state for it (no failures and
+// no recorded successes).
+func (b *Broker) SiteEvidence(name string) (HealthEvidence, bool) {
+	hl := b.health[name]
+	if hl == nil {
+		return HealthEvidence{}, false
+	}
+	return HealthEvidence{
+		Fails:       hl.fails,
+		Quarantined: b.sim.Now().Before(hl.quarantinedUntil),
+		TrippedAt:   hl.trippedAt,
+		LastSuccess: hl.lastSuccess,
+	}, true
+}
+
+// ClearQuarantine resets a site's breaker on the strength of a peer's
+// evidence (federation reconciliation after a partition heals): the
+// site re-enters matchmaking immediately, as if a half-open probe had
+// succeeded.
+func (b *Broker) ClearQuarantine(name string) {
+	hl := b.health[name]
+	if hl == nil {
+		return
+	}
+	if !hl.quarantinedUntil.IsZero() {
+		b.cfg.Trace.Emit(trace.Event{Kind: trace.Unquarantined, Site: name, Detail: "reconciled"})
+	}
+	hl.fails = 0
+	hl.quarantinedUntil = time.Time{}
+	hl.probing = false
 }
 
 // QuarantinedSites returns the currently quarantined site names,

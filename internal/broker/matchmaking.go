@@ -179,7 +179,7 @@ func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 			if excluded[name] {
 				continue
 			}
-			if b.quarantined(name) {
+			if b.siteExcluded(name) {
 				h.unavailable++
 				continue
 			}
@@ -257,7 +257,7 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 		if excluded[name] {
 			continue
 		}
-		if b.quarantined(name) {
+		if b.siteExcluded(name) {
 			h.unavailable++
 			continue
 		}
@@ -384,6 +384,7 @@ func (b *Broker) probeSites(tasks []probeTask) {
 			b.noteSiteFailure(tasks[i].st.Name())
 			return
 		}
+		b.noteProbeAnswered(tasks[i].st.Name())
 		free -= b.activeLeases(tasks[i].st.Name())
 		if free < 0 {
 			free = 0
@@ -471,11 +472,13 @@ type leaseEntry struct {
 }
 
 // leaseQueue tracks a site's exclusive-temporal-access leases as a
-// count plus a queue of expiry batches. Lease durations are a broker
-// constant, so expiries are pushed in non-decreasing order and the
-// earliest expiry is always at the head: pruning pops expired batches
-// from the front in O(1) amortized, replacing the per-CPU slice the
-// broker previously rebuilt on every pass.
+// count plus a queue of expiry batches sorted by expiry. Without
+// LeaseJitter expiries arrive in non-decreasing order and pushes are
+// O(1) appends; a jittered expiry may land slightly out of order and
+// is bubbled back to its slot (the jitter window is a fraction of one
+// lease duration, so the walk stays short). Pruning pops expired
+// batches from the front in O(1) amortized, replacing the per-CPU
+// slice the broker previously rebuilt on every pass.
 type leaseQueue struct {
 	entries []leaseEntry
 	head    int
@@ -485,12 +488,15 @@ type leaseQueue struct {
 // push adds n leases expiring at exp, merging with the newest batch
 // when the expiry matches (several CPUs leased in one pass).
 func (q *leaseQueue) push(exp time.Time, n int) {
+	q.count += n
 	if last := len(q.entries) - 1; last >= q.head && q.entries[last].exp.Equal(exp) {
 		q.entries[last].n += n
-	} else {
-		q.entries = append(q.entries, leaseEntry{exp: exp, n: n})
+		return
 	}
-	q.count += n
+	q.entries = append(q.entries, leaseEntry{exp: exp, n: n})
+	for i := len(q.entries) - 1; i > q.head && q.entries[i].exp.Before(q.entries[i-1].exp); i-- {
+		q.entries[i], q.entries[i-1] = q.entries[i-1], q.entries[i]
+	}
 }
 
 // prune drops batches whose expiry has passed and returns the live
@@ -540,14 +546,21 @@ func (b *Broker) activeLeases(name string) int {
 }
 
 // lease reserves n CPUs on a site for the exclusive-temporal-access
-// window on behalf of h's current attempt.
+// window on behalf of h's current attempt. With LeaseJitter set the
+// window is stretched by a seeded random fraction, so two federated
+// brokers whose leases were acquired in the same tick expire — and
+// re-probe the grid — at different instants.
 func (b *Broker) lease(h *Handle, name string, n int) {
 	q := b.leases[name]
 	if q == nil {
 		q = &leaseQueue{}
 		b.leases[name] = q
 	}
-	q.push(b.sim.Now().Add(b.cfg.LeaseDuration), n)
+	d := b.cfg.LeaseDuration
+	if b.cfg.LeaseJitter > 0 {
+		d += time.Duration(b.cfg.LeaseJitter * b.rng.Float64() * float64(d))
+	}
+	q.push(b.sim.Now().Add(d), n)
 	b.cfg.Trace.Emit(trace.Event{Kind: trace.LeaseAcquired, Job: h.ID, Site: name, N: n})
 }
 
@@ -649,6 +662,13 @@ func (b *Broker) dispatchPending() {
 func (b *Broker) scheduleRetry(h *Handle) {
 	if b.cfg.MaxResubmits > 0 && h.resub > b.cfg.MaxResubmits {
 		b.failResubmits(h)
+		return
+	}
+	// Queue-pressure offload: before parking the job, let the
+	// federation ship it to a less-loaded peer. A true return means a
+	// peer owns the job now (or a transfer is in flight that will
+	// Requeue it here if undeliverable).
+	if b.offloader != nil && b.offloader(h) {
 		return
 	}
 	d := b.retryDelay(h.backoffs)

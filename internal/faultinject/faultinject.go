@@ -60,6 +60,16 @@ const (
 	// the site stays alive (jobs keep running) but is unreachable —
 	// probes fail, submissions fail, commits abort.
 	NetOutage
+	// BrokerCrash kills the named federated broker for Duration (zero
+	// means permanent): it stops offering, accepting and relaying
+	// transfers, and peers reclaim the queued jobs they had shipped to
+	// it. Site holds the broker name.
+	BrokerCrash
+	// PeerLinkOutage cuts the named broker's peer links for Duration:
+	// transfer requests and acknowledgments in flight are lost (the
+	// at-most-once protocol orphans them), and no new offloads reach
+	// or leave the broker. Site holds the broker name.
+	PeerLinkOutage
 
 	numKinds
 )
@@ -79,6 +89,10 @@ func (k Kind) String() string {
 		return "infosys-partition"
 	case NetOutage:
 		return "net-outage"
+	case BrokerCrash:
+		return "broker-crash"
+	case PeerLinkOutage:
+		return "peer-link-outage"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -120,6 +134,15 @@ type Rates struct {
 	// OutagesPerHour and MeanOutage drive NetOutage events.
 	OutagesPerHour float64
 	MeanOutage     time.Duration
+	// BrokerCrashesPerHour and MeanBrokerDowntime drive BrokerCrash
+	// events (federated grids only; single-broker schedules leave them
+	// zero).
+	BrokerCrashesPerHour float64
+	MeanBrokerDowntime   time.Duration
+	// PeerOutagesPerHour and MeanPeerOutage drive PeerLinkOutage
+	// events.
+	PeerOutagesPerHour float64
+	MeanPeerOutage     time.Duration
 }
 
 func (r Rates) rate(k Kind) float64 {
@@ -136,6 +159,10 @@ func (r Rates) rate(k Kind) float64 {
 		return r.PartitionsPerHour
 	case NetOutage:
 		return r.OutagesPerHour
+	case BrokerCrash:
+		return r.BrokerCrashesPerHour
+	case PeerLinkOutage:
+		return r.PeerOutagesPerHour
 	}
 	return 0
 }
@@ -152,6 +179,10 @@ func (r Rates) mean(k Kind) time.Duration {
 		return r.MeanPartition
 	case NetOutage:
 		return r.MeanOutage
+	case BrokerCrash:
+		return r.MeanBrokerDowntime
+	case PeerLinkOutage:
+		return r.MeanPeerOutage
 	}
 	return 0
 }
@@ -233,6 +264,15 @@ type NetLink interface {
 	SetDown(down bool)
 }
 
+// BrokerFaulter is the federation hook (federation.Federation
+// implements it): crash a named broker or cut its peer links for d
+// (zero crash duration means permanent), reporting whether the target
+// exists and the fault applied.
+type BrokerFaulter interface {
+	CrashBroker(name string, d time.Duration) bool
+	CutPeerLink(name string, d time.Duration) bool
+}
+
 // Injector drives a schedule against a grid. Register the substrate
 // hooks, then Start; every fault is applied by a simulation timer at
 // its scheduled virtual instant.
@@ -245,6 +285,9 @@ type Injector struct {
 	agents AgentKiller
 	nets   []NetLink
 	tracer *trace.Tracer
+
+	brokers     BrokerFaulter
+	brokerNames []string // sorted, for seeded broker-target picks
 
 	applied []string
 	started bool
@@ -277,6 +320,15 @@ func (in *Injector) SetInfosys(p Partitioner) { in.part = p }
 // SetAgentKiller registers the glide-in death hook.
 func (in *Injector) SetAgentKiller(k AgentKiller) { in.agents = k }
 
+// SetBrokerFaulter registers the federation hook plus the broker
+// names BrokerCrash/PeerLinkOutage events without a declared target
+// resolve against (picked seeded, like site targets).
+func (in *Injector) SetBrokerFaulter(f BrokerFaulter, names ...string) {
+	in.brokers = f
+	in.brokerNames = append([]string(nil), names...)
+	sort.Strings(in.brokerNames)
+}
+
 // SetTracer wires the event tracer: every processed fault — applied or
 // skipped — is emitted as a FaultInjected event, so job timelines can
 // cross-reference the fault that hit their site (nil disables).
@@ -298,7 +350,14 @@ func (in *Injector) Start(s Schedule) []Event {
 	events := s.Generate()
 	for i := range events {
 		ev := &events[i]
-		if ev.Site == "" && ev.Kind != InfosysPartition && len(in.names) > 0 {
+		switch {
+		case ev.Site != "" || ev.Kind == InfosysPartition:
+			// Declared target (or untargeted kind): nothing to resolve.
+		case ev.Kind == BrokerCrash || ev.Kind == PeerLinkOutage:
+			if len(in.brokerNames) > 0 {
+				ev.Site = in.brokerNames[in.rng.Intn(len(in.brokerNames))]
+			}
+		case len(in.names) > 0:
 			ev.Site = in.names[in.rng.Intn(len(in.names))]
 		}
 		e := *ev
@@ -347,6 +406,16 @@ func (in *Injector) apply(e Event) {
 		in.part.SetPartitioned(true)
 		if e.Duration > 0 {
 			in.sim.AfterFunc(e.Duration, func() { in.part.SetPartitioned(false) })
+		}
+	case BrokerCrash:
+		if in.brokers == nil || !in.brokers.CrashBroker(e.Site, e.Duration) {
+			in.log(e, "skipped")
+			return
+		}
+	case PeerLinkOutage:
+		if in.brokers == nil || !in.brokers.CutPeerLink(e.Site, e.Duration) {
+			in.log(e, "skipped")
+			return
 		}
 	case NetOutage:
 		st := in.sites[e.Site]

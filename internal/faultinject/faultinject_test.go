@@ -201,3 +201,72 @@ func TestCrashKillsQueueAndStopsPublishing(t *testing.T) {
 		t.Fatalf("expected s0 stale after crash, got %v", stale)
 	}
 }
+
+// fakeFed records the broker faults the injector delivers.
+type fakeFed struct {
+	crashes, cuts []string
+}
+
+func (f *fakeFed) CrashBroker(name string, d time.Duration) bool {
+	f.crashes = append(f.crashes, name)
+	return name != "ghost"
+}
+
+func (f *fakeFed) CutPeerLink(name string, d time.Duration) bool {
+	f.cuts = append(f.cuts, name)
+	return name != "ghost"
+}
+
+func TestBrokerFaultsRouteToFederation(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	in := New(sim, 1)
+	fed := &fakeFed{}
+	in.SetBrokerFaulter(fed, "bB", "bA")
+	events := in.Start(Schedule{Events: []Event{
+		{At: time.Minute, Kind: BrokerCrash, Site: "bA", Duration: 10 * time.Minute},
+		{At: 2 * time.Minute, Kind: PeerLinkOutage}, // target picked from registered brokers
+		{At: 3 * time.Minute, Kind: BrokerCrash, Site: "ghost"},
+	}})
+	if events[1].Site != "bA" && events[1].Site != "bB" {
+		t.Fatalf("untargeted broker fault resolved to %q", events[1].Site)
+	}
+	sim.RunFor(time.Hour)
+	if len(fed.crashes) != 2 || fed.crashes[0] != "bA" {
+		t.Fatalf("crashes = %v", fed.crashes)
+	}
+	if len(fed.cuts) != 1 {
+		t.Fatalf("cuts = %v", fed.cuts)
+	}
+	log := strings.Join(in.Applied(), "\n")
+	if !strings.Contains(log, "broker-crash ghost 0s skipped") {
+		t.Fatalf("ghost crash not logged as skipped:\n%s", log)
+	}
+	if !strings.Contains(log, "peer-link-outage") {
+		t.Fatalf("peer outage not logged:\n%s", log)
+	}
+}
+
+// New broker-fault rate streams must not reshuffle the existing
+// per-kind arrival streams — committed chaos artifacts depend on it.
+func TestBrokerRatesDoNotShiftOtherStreams(t *testing.T) {
+	base := Schedule{
+		Seed:    42,
+		Horizon: 6 * time.Hour,
+		Rates:   Rates{SiteCrashesPerHour: 2, MeanDowntime: 10 * time.Minute},
+	}
+	withBrokers := base
+	withBrokers.Rates.BrokerCrashesPerHour = 1
+	withBrokers.Rates.MeanBrokerDowntime = 5 * time.Minute
+	withBrokers.Rates.PeerOutagesPerHour = 1
+	withBrokers.Rates.MeanPeerOutage = time.Minute
+	var siteOnly, mixed []Event
+	for _, e := range withBrokers.Generate() {
+		if e.Kind == SiteCrash {
+			mixed = append(mixed, e)
+		}
+	}
+	siteOnly = base.Generate()
+	if !reflect.DeepEqual(siteOnly, mixed) {
+		t.Fatal("adding broker fault rates shifted the site-crash stream")
+	}
+}

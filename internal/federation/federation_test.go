@@ -1,0 +1,450 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"crossbroker/internal/broker"
+	"crossbroker/internal/infosys"
+	"crossbroker/internal/jdl"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+	"crossbroker/internal/trace"
+)
+
+// member bundles one federated broker with its private view and tracer.
+type member struct {
+	n  *Node
+	b  *broker.Broker
+	tr *trace.Tracer
+}
+
+func mkSites(sim *simclock.Sim, prefix string, n, nodes int) []*site.Site {
+	out := make([]*site.Site, n)
+	for i := range out {
+		out[i] = site.New(sim, site.Config{
+			Name:     fmt.Sprintf("%s%02d", prefix, i),
+			Nodes:    nodes,
+			Network:  netsim.CampusGrid(),
+			Costs:    site.DefaultCosts(),
+			LRMCycle: 2 * time.Second,
+		})
+	}
+	return out
+}
+
+// addMember wires a broker-backed node: its own view of svc, its own
+// tracer, registering the given (possibly shared) sites.
+func addMember(fed *Federation, sim *simclock.Sim, svc *infosys.Service, name string, sites []*site.Site, bcfg broker.Config) *member {
+	tr := trace.New(sim.Now)
+	v := svc.NewView()
+	bcfg.Sim = sim
+	bcfg.Name = name
+	bcfg.Info = v
+	bcfg.Trace = tr
+	b := broker.New(bcfg)
+	for _, st := range sites {
+		b.RegisterSite(st)
+	}
+	n := fed.AddNode(NodeConfig{Name: name, Broker: b, View: v, Trace: tr})
+	return &member{n: n, b: b, tr: tr}
+}
+
+func addRelay(fed *Federation, sim *simclock.Sim, name string) *member {
+	tr := trace.New(sim.Now)
+	n := fed.AddNode(NodeConfig{Name: name, Trace: tr, Relay: true})
+	return &member{n: n, tr: tr}
+}
+
+func batchReq(cpu time.Duration) broker.Request {
+	return broker.Request{
+		Job:  &jdl.Job{Executable: "app", NodeNumber: 1},
+		User: "u",
+		CPU:  cpu,
+	}
+}
+
+// merged interleaves the members' logs and fails the test on any
+// cross-broker invariant violation.
+func merged(t *testing.T, ms ...*member) trace.Trace {
+	t.Helper()
+	traces := make([]trace.Trace, len(ms))
+	for i, m := range ms {
+		traces[i] = m.tr.Snapshot(m.n.Name())
+	}
+	out := trace.MergeByTime(traces)
+	if vs := trace.CheckComplete(out.Events); len(vs) > 0 {
+		t.Fatalf("merged trace violations: %v", vs)
+	}
+	return out
+}
+
+func countKind(tr trace.Trace, k trace.Kind, detail string) int {
+	n := 0
+	for _, e := range tr.Events {
+		if e.Kind == k && (detail == "" || e.Detail == detail) {
+			n++
+		}
+	}
+	return n
+}
+
+func assertDrained(t *testing.T, ms ...*member) {
+	t.Helper()
+	for _, m := range ms {
+		if m.b != nil {
+			if l := m.b.LeasedCPUs(); l != 0 {
+				t.Errorf("%s leaked %d leases", m.n.Name(), l)
+			}
+		}
+		if o := m.n.OpenTransfers(); o != 0 {
+			t.Errorf("%s leaked %d transfer leases", m.n.Name(), o)
+		}
+	}
+}
+
+// waves sends `first` jobs now (they fill the local site's node and
+// LRM queue) and `second` more after `gap` (those find the site full,
+// park in the broker queue and build the offload pressure). A single
+// burst cannot build pressure: all its jobs probe the site before any
+// commit lands, so they all commit into the site queue. The returned
+// slice pointer is complete once the simulation has run past gap.
+func waves(t *testing.T, sim *simclock.Sim, fed *Federation, node string, first, second int, gap, cpu time.Duration) *[]*JobRef {
+	t.Helper()
+	refs := &[]*JobRef{}
+	submit := func(n int) {
+		for i := 0; i < n; i++ {
+			jr, err := fed.Submit(node, batchReq(cpu))
+			if err != nil {
+				t.Errorf("submit: %v", err)
+				return
+			}
+			*refs = append(*refs, jr)
+		}
+	}
+	submit(first)
+	sim.AfterFunc(gap, func() { submit(second) })
+	return refs
+}
+
+// An overloaded broker must ship queued jobs to the least-loaded peer
+// and every job must finish exactly once somewhere in the mesh.
+func TestOffloadRelievesQueuePressure(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := infosys.New(sim, 500*time.Millisecond)
+	fed := New(Config{Sim: sim, K: 1})
+	mA := addMember(fed, sim, svc, "bA", mkSites(sim, "a-site", 1, 1), broker.Config{})
+	mB := addMember(fed, sim, svc, "bB", mkSites(sim, "b-site", 1, 4), broker.Config{})
+
+	refsP := waves(t, sim, fed, "bA", 3, 3, time.Minute, 2*time.Minute)
+	sim.RunFor(2 * time.Hour)
+	refs := *refsP
+
+	for _, jr := range refs {
+		if jr.State() != broker.Done {
+			t.Fatalf("job %s: state %v err %v (owner %s)", jr.ID, jr.State(), jr.Err(), jr.Owner())
+		}
+	}
+	mtr := merged(t, mA, mB)
+	if n := countKind(mtr, trace.OffloadAccepted, ""); n == 0 {
+		t.Fatal("no transfer was accepted — queue pressure never offloaded")
+	}
+	shipped := 0
+	for _, jr := range refs {
+		if jr.Owner() == "bB" {
+			shipped++
+		}
+	}
+	if shipped == 0 {
+		t.Fatal("no job finished at the peer")
+	}
+	assertDrained(t, mA, mB)
+}
+
+// Two brokers racing the same site must be arbitrated by the site's
+// 2PC commit window (visible as overlapping in-flight commits) with
+// every job still executing exactly once.
+func TestContendedSiteCommitWindowArbitrates(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := infosys.New(sim, 500*time.Millisecond)
+	fed := New(Config{Sim: sim})
+	shared := mkSites(sim, "shared", 1, 2)
+	mA := addMember(fed, sim, svc, "bA", shared, broker.Config{Seed: 1})
+	mB := addMember(fed, sim, svc, "bB", shared, broker.Config{Seed: 2})
+
+	jrA, err := fed.Submit("bA", batchReq(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrB, err := fed.Submit("bB", batchReq(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(time.Hour)
+
+	if jrA.State() != broker.Done || jrB.State() != broker.Done {
+		t.Fatalf("states: A=%v B=%v", jrA.State(), jrB.State())
+	}
+	st := shared[0].Stats()
+	if st.MaxInflight < 2 {
+		t.Fatalf("MaxInflight = %d, want >= 2 (overlapping commit windows)", st.MaxInflight)
+	}
+	if st.Committed != 2 {
+		t.Fatalf("site committed %d, want 2", st.Committed)
+	}
+	merged(t, mA, mB)
+	assertDrained(t, mA, mB)
+}
+
+// A crashed receiver's still-queued adopted jobs must return to their
+// origins ("peer-crash" orphans) and finish there exactly once; jobs
+// past the queue ride the crash out in place.
+func TestCrashReclaimReturnsQueuedJobs(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := infosys.New(sim, 500*time.Millisecond)
+	fed := New(Config{Sim: sim, K: 1})
+	mA := addMember(fed, sim, svc, "bA", mkSites(sim, "a-site", 1, 1), broker.Config{})
+	mB := addMember(fed, sim, svc, "bB", mkSites(sim, "b-site", 1, 1), broker.Config{})
+
+	// Fill bB completely (node + LRM queue) for half an hour so an
+	// offloaded job parks in its broker queue instead of starting.
+	var blockers []*JobRef
+	for i := 0; i < 3; i++ {
+		jr, err := fed.Submit("bB", batchReq(30*time.Minute))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blockers = append(blockers, jr)
+	}
+	refsP := waves(t, sim, fed, "bA", 3, 3, time.Minute, 2*time.Minute)
+	// Let the second wave's transfers land and park, then kill bB's
+	// federation plane.
+	sim.RunFor(2 * time.Minute)
+	if !fed.CrashBroker("bB", 0) {
+		t.Fatal("CrashBroker refused")
+	}
+	sim.RunFor(4 * time.Hour)
+	refs := *refsP
+
+	for _, jr := range refs {
+		if jr.State() != broker.Done {
+			t.Fatalf("job %s: state %v (owner %s)", jr.ID, jr.State(), jr.Owner())
+		}
+		if jr.Owner() != "bA" {
+			t.Fatalf("job %s finished at %s, want reclaimed to bA", jr.ID, jr.Owner())
+		}
+	}
+	for _, jr := range blockers {
+		if jr.State() != broker.Done {
+			t.Fatalf("bB's own job rode the crash out badly: %v", jr.State())
+		}
+	}
+	mtr := merged(t, mA, mB)
+	if n := countKind(mtr, trace.OffloadOrphaned, "peer-crash"); n == 0 {
+		t.Fatal("no peer-crash orphan recorded")
+	}
+	assertDrained(t, mA, mB)
+}
+
+// A transfer lost to a peer-link outage must be orphaned and requeued
+// at the origin — the job never reached the peer, so the requeue
+// cannot double-execute it.
+func TestLostTransferRequeuesAtOrigin(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := infosys.New(sim, 500*time.Millisecond)
+	// A 30 s one-way link makes the flight long enough to cut mid-air.
+	fed := New(Config{Sim: sim, K: 1, Link: netsim.Profile{Name: "slow", OneWayDelay: 30 * time.Second}})
+	mA := addMember(fed, sim, svc, "bA", mkSites(sim, "a-site", 1, 1), broker.Config{})
+	mB := addMember(fed, sim, svc, "bB", mkSites(sim, "b-site", 1, 4), broker.Config{})
+
+	refsP := waves(t, sim, fed, "bA", 3, 3, time.Minute, 2*time.Minute)
+	// Wave-2 offload decisions land just after 60 s; the flight takes
+	// 30 s. Cutting bA's own peer link from 72 s to 132 s loses every
+	// in-flight request.
+	sim.AfterFunc(72*time.Second, func() { fed.CutPeerLink("bA", 60*time.Second) })
+	sim.RunFor(3 * time.Hour)
+	refs := *refsP
+
+	for _, jr := range refs {
+		if jr.State() != broker.Done {
+			t.Fatalf("job %s: state %v (owner %s)", jr.ID, jr.State(), jr.Owner())
+		}
+	}
+	mtr := merged(t, mA, mB)
+	if n := countKind(mtr, trace.OffloadOrphaned, "lost"); n == 0 {
+		t.Fatal("no lost-transfer orphan recorded")
+	}
+	assertDrained(t, mA, mB)
+}
+
+// When only the acknowledgment is lost, the receiver keeps the job
+// (requeueing after delivery would risk double execution); the
+// origin's dangling transfer lease closes at reconciliation.
+func TestAckLostReceiverKeepsJob(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := infosys.New(sim, 500*time.Millisecond)
+	// 10 s one-way: delivery at ~send+10 s, ack due ~send+20 s.
+	fed := New(Config{Sim: sim, K: 1, Link: netsim.Profile{Name: "slow", OneWayDelay: 10 * time.Second}})
+	mA := addMember(fed, sim, svc, "bA", mkSites(sim, "a-site", 1, 1), broker.Config{})
+	mB := addMember(fed, sim, svc, "bB", mkSites(sim, "b-site", 1, 4), broker.Config{})
+
+	refsP := waves(t, sim, fed, "bA", 3, 3, time.Minute, 2*time.Minute)
+	// Wave-2 transfers send at ~61 s, deliver at ~71 s and expect the
+	// ack at ~81 s: a cut from 75 s to 105 s spares the request and
+	// kills only the acknowledgment.
+	sim.AfterFunc(75*time.Second, func() { fed.CutPeerLink("bA", 30*time.Second) })
+	sim.RunFor(3 * time.Hour)
+	refs := *refsP
+
+	for _, jr := range refs {
+		if jr.State() != broker.Done {
+			t.Fatalf("job %s: state %v (owner %s)", jr.ID, jr.State(), jr.Owner())
+		}
+	}
+	mtr := merged(t, mA, mB)
+	if n := countKind(mtr, trace.OffloadOrphaned, "ack-lost"); n == 0 {
+		t.Fatal("no ack-lost orphan recorded")
+	}
+	// At least one job must have stayed with the receiver despite the
+	// lost ack.
+	kept := 0
+	for _, jr := range refs {
+		if jr.Owner() == "bB" {
+			kept++
+		}
+	}
+	if kept == 0 {
+		t.Fatal("receiver kept no job after the lost ack")
+	}
+	// The link heal reconciled: no dangling transfer leases remain.
+	assertDrained(t, mA, mB)
+}
+
+// After a split brain, a quarantine tripped by partition noise must be
+// cleared by a peer's fresher success evidence — without waiting out
+// the cooldown.
+func TestSplitBrainQuarantineReconciled(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := infosys.New(sim, 500*time.Millisecond)
+	fed := New(Config{Sim: sim})
+	shared := mkSites(sim, "shared", 1, 2)
+	cool := time.Hour // long cooldown: only reconciliation can clear it
+	mA := addMember(fed, sim, svc, "bA", shared, broker.Config{QuarantineThreshold: 1, QuarantineCooldown: cool})
+	mB := addMember(fed, sim, svc, "bB", shared, broker.Config{QuarantineThreshold: 1, QuarantineCooldown: cool})
+
+	// Split brain: both views freeze; the site then drops off the net
+	// long enough for bA to trip its breaker.
+	fed.SetPartitioned(true)
+	shared[0].SetUnreachable(true)
+	jrA, err := fed.Submit("bA", batchReq(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(2 * time.Minute)
+	if got := mA.b.QuarantinedSites(); len(got) != 1 {
+		t.Fatalf("bA quarantined %v, want [shared00]", got)
+	}
+
+	// The site recovers; bB (which never tripped) interacts with it
+	// successfully, producing evidence newer than bA's trip.
+	shared[0].SetUnreachable(false)
+	jrB, err := fed.Submit("bB", batchReq(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.RunFor(5 * time.Minute)
+	if jrB.State() != broker.Done {
+		t.Fatalf("bB probe job: %v", jrB.State())
+	}
+
+	// Heal: reconciliation clears bA's stale quarantine immediately.
+	fed.SetPartitioned(false)
+	if got := mA.b.QuarantinedSites(); len(got) != 0 {
+		t.Fatalf("bA still quarantines %v after reconcile", got)
+	}
+	sim.RunFor(time.Hour)
+	if jrA.State() != broker.Done {
+		t.Fatalf("bA job after heal: %v (err %v)", jrA.State(), jrA.Err())
+	}
+	mtr := merged(t, mA, mB)
+	if n := countKind(mtr, trace.Unquarantined, "reconciled"); n != 1 {
+		t.Fatalf("reconciled unquarantines = %d, want 1", n)
+	}
+	assertDrained(t, mA, mB)
+}
+
+// Disjoint grids joined by a pure relay supervisor: pressure on one
+// child flows up to the supervisor and down to the least-loaded other
+// child, under the same at-most-once transfer protocol.
+func TestSupervisorRelaysAcrossDisjointGrids(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svcA := infosys.New(sim, 500*time.Millisecond)
+	svcB := infosys.New(sim, 500*time.Millisecond)
+	fed := New(Config{Sim: sim, K: 1})
+	sup := addRelay(fed, sim, "sup")
+	mA := addMember(fed, sim, svcA, "bA", mkSites(sim, "a-site", 1, 1), broker.Config{})
+	mB := addMember(fed, sim, svcB, "bB", mkSites(sim, "b-site", 1, 4), broker.Config{})
+
+	refsP := waves(t, sim, fed, "bA", 3, 3, time.Minute, 2*time.Minute)
+	sim.RunFor(2 * time.Hour)
+	refs := *refsP
+
+	for _, jr := range refs {
+		if jr.State() != broker.Done {
+			t.Fatalf("job %s: state %v (owner %s)", jr.ID, jr.State(), jr.Owner())
+		}
+	}
+	mtr := merged(t, sup, mA, mB)
+	up, down := 0, 0
+	for _, e := range mtr.Events {
+		if e.Kind == trace.OffloadSent {
+			switch {
+			case e.Site == "bA" && e.Detail == "sup":
+				up++
+			case e.Site == "sup" && e.Detail == "bB":
+				down++
+			}
+		}
+	}
+	if up == 0 || down == 0 {
+		t.Fatalf("relay legs: up=%d down=%d, want both > 0", up, down)
+	}
+	crossed := 0
+	for _, jr := range refs {
+		if jr.Owner() == "bB" {
+			crossed++
+		}
+	}
+	if crossed == 0 {
+		t.Fatal("no job crossed the grids")
+	}
+	assertDrained(t, sup, mA, mB)
+}
+
+// Two identically seeded federations must produce byte-identical
+// merged traces — the determinism contract the chaos sweep relies on.
+func TestFederationDeterministic(t *testing.T) {
+	run := func() trace.Trace {
+		sim := simclock.NewSim(time.Time{})
+		svc := infosys.New(sim, 500*time.Millisecond)
+		fed := New(Config{Sim: sim, K: 1})
+		mA := addMember(fed, sim, svc, "bA", mkSites(sim, "a-site", 1, 1), broker.Config{Seed: 11, LeaseJitter: 0.5})
+		mB := addMember(fed, sim, svc, "bB", mkSites(sim, "b-site", 1, 2), broker.Config{Seed: 22, LeaseJitter: 0.5})
+		waves(t, sim, fed, "bA", 3, 3, time.Minute, 90*time.Second)
+		sim.AfterFunc(70*time.Second, func() { fed.CrashBroker("bB", 5*time.Minute) })
+		sim.RunFor(2 * time.Hour)
+		return trace.MergeByTime([]trace.Trace{mA.tr.Snapshot("bA"), mB.tr.Snapshot("bB")})
+	}
+	a, b := run(), run()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		ea, eb := a.Events[i], b.Events[i]
+		if ea.T != eb.T || ea.Kind != eb.Kind || ea.Job != eb.Job || ea.Site != eb.Site || ea.Detail != eb.Detail {
+			t.Fatalf("event %d differs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}

@@ -49,6 +49,7 @@ func (p Page) MatchAttrs(i int) *MatchAttrs { return p.snap.MatchAttrs(p.lo + i)
 // matchmaking pass.
 type Cursor struct {
 	svc      *Service
+	view     *View     // non-nil when paging a per-broker view
 	single   *Snapshot // non-nil when paging one standalone snapshot
 	pageSize int
 	shard    int
@@ -118,7 +119,11 @@ func (c *Cursor) Next() (Page, bool) {
 	}
 	for c.shard < len(c.svc.shards) {
 		if c.cur == nil {
-			c.cur = c.svc.shardView(c.shard)
+			if c.view != nil {
+				c.cur = c.view.shardView(c.shard)
+			} else {
+				c.cur = c.svc.shardView(c.shard)
+			}
 			c.off = 0
 		}
 		if c.off < c.cur.Len() {

@@ -1,0 +1,93 @@
+package infosys
+
+import (
+	"testing"
+	"time"
+
+	"crossbroker/internal/simclock"
+)
+
+// Two views of one service must split-brain independently: a cut view
+// keeps serving its freeze while the other view (and the service) see
+// live updates.
+func TestViewPartitionsIndependently(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := NewSharded(sim, 0, 4)
+	svc.Publish(rec("ifca", 4))
+	vA, vB := svc.NewView(), svc.NewView()
+
+	vA.SetPartitioned(true)
+	svc.Publish(rec("uab", 8)) // lands after A's cut
+	if got := vA.SnapshotImmediate().Len(); got != 1 {
+		t.Fatalf("cut view sees %d sites, want frozen 1", got)
+	}
+	if got := vB.SnapshotImmediate().Len(); got != 2 {
+		t.Fatalf("live view sees %d sites, want 2", got)
+	}
+	if !vA.Partitioned() || vB.Partitioned() {
+		t.Fatal("partition flags wrong")
+	}
+
+	// Paged discovery honors the same freeze.
+	names := func(v *View) []string {
+		var out []string
+		cur := v.DiscoverImmediate(1)
+		for p, ok := cur.Next(); ok; p, ok = cur.Next() {
+			for i := 0; i < p.Len(); i++ {
+				out = append(out, p.Name(i))
+			}
+		}
+		return out
+	}
+	if got := names(vA); len(got) != 1 || got[0] != "ifca" {
+		t.Fatalf("cut view pages = %v", got)
+	}
+	if got := names(vB); len(got) != 2 {
+		t.Fatalf("live view pages = %v", got)
+	}
+
+	vA.SetPartitioned(false)
+	if got := vA.SnapshotImmediate().Len(); got != 2 {
+		t.Fatalf("healed view sees %d sites, want 2", got)
+	}
+}
+
+// A view delegates publishes to the shared registry even while cut —
+// the partition is between broker and index, not site and index.
+func TestViewPublishLandsWhileCut(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := New(sim, 0)
+	v := svc.NewView()
+	v.SetPartitioned(true)
+	if err := v.Publish(rec("uab", 8)); err != nil {
+		t.Fatal(err)
+	}
+	if svc.Len() != 1 {
+		t.Fatal("publish did not reach the registry")
+	}
+	if v.SnapshotImmediate().Len() != 0 {
+		t.Fatal("cut view leaked the post-cut publish")
+	}
+	v.Remove("uab")
+	if svc.Len() != 0 {
+		t.Fatal("remove did not reach the registry")
+	}
+}
+
+// A view composes with a service-wide partition: when the whole
+// service is frozen, an uncut view serves the service's freeze.
+func TestViewHonorsServicePartition(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	svc := New(sim, 0)
+	svc.Publish(rec("ifca", 4))
+	v := svc.NewView()
+	svc.SetPartitioned(true)
+	svc.Publish(rec("uab", 8))
+	if got := v.SnapshotImmediate().Len(); got != 1 {
+		t.Fatalf("view sees %d sites through a service-wide freeze, want 1", got)
+	}
+	svc.SetPartitioned(false)
+	if got := v.SnapshotImmediate().Len(); got != 2 {
+		t.Fatalf("view sees %d sites after heal, want 2", got)
+	}
+}

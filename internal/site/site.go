@@ -118,6 +118,33 @@ type Site struct {
 	unreachable  bool // network outage: site alive but cut off
 	gkStallUntil time.Time
 	deathHooks   []func()
+
+	publishing bool // publish loop started (idempotency guard)
+
+	// Two-phase-commit accounting (see CommitStats).
+	stats    CommitStats
+	inflight int // commit windows currently open
+}
+
+// CommitStats counts the site's two-phase-commit outcomes. In a
+// federation it makes broker contention visible from the site's side:
+// MaxInflight > 1 means two submissions raced inside overlapping
+// commit windows, and Phase1Rejects counts the losers the LRM turned
+// away at phase 1 — the site's commit window is the arbiter, so a
+// raced submission either queues (and commits) or is rejected before
+// it ever holds capacity; it is never double-counted.
+type CommitStats struct {
+	// Sent counts phase-1 accepts (commit windows opened).
+	Sent int
+	// Committed and Aborted count how those windows resolved.
+	Committed int
+	Aborted   int
+	// Phase1Rejects counts submissions the LRM refused outright
+	// (queue full — including races lost to a concurrent broker).
+	Phase1Rejects int
+	// MaxInflight is the peak number of simultaneously open commit
+	// windows.
+	MaxInflight int
 }
 
 // New creates a site with its local queue and worker nodes.
@@ -227,11 +254,24 @@ func (s *Site) Record() infosys.SiteRecord {
 	}
 }
 
+// Publisher receives the site's periodic record pushes — the shared
+// *infosys.Service, or any per-broker view that delegates to it.
+type Publisher interface {
+	Publish(rec infosys.SiteRecord) error
+}
+
 // StartPublishing pushes the site record to the information service
 // now and on every PublishInterval, mirroring GRIS->GIIS registration.
 // A crashed or partitioned-off site skips its pushes (a dead GRIS),
 // so its record goes stale in the index until it comes back.
-func (s *Site) StartPublishing(is *infosys.Service) {
+// Idempotent: when several federated brokers register the same site,
+// only the first call starts the loop — there is one GRIS per site,
+// however many brokers read the index it feeds.
+func (s *Site) StartPublishing(is Publisher) {
+	if s.publishing {
+		return
+	}
+	s.publishing = true
 	var tick func()
 	tick = func() {
 		if s.Available() {
@@ -241,6 +281,9 @@ func (s *Site) StartPublishing(is *infosys.Service) {
 	}
 	tick()
 }
+
+// Stats returns the site's two-phase-commit counters.
+func (s *Site) Stats() CommitStats { return s.stats }
 
 // QueryState is the broker's direct query for up-to-date queue
 // information during the selection phase. It costs one network round
@@ -324,14 +367,21 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 	}
 	h, err := s.queue.Submit(req) // phase-1 accept
 	if err != nil {
+		s.stats.Phase1Rejects++
 		return nil, err
 	}
 	tj := opts.TraceJob
 	if tj == "" {
 		tj = h.ID()
 	}
+	s.stats.Sent++
+	s.inflight++
+	if s.inflight > s.stats.MaxInflight {
+		s.stats.MaxInflight = s.inflight
+	}
 	s.tracer.Emit(trace.Event{Kind: trace.CommitSent, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 	s.sim.Sleep(s.cfg.Network.RTT()) // commit acknowledgment
+	s.inflight--
 	if !s.Available() {
 		// Phase 2 never completed: abort. A crash already dropped the
 		// job with the rest of the queue; after a mere outage the LRM
@@ -340,9 +390,11 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 		if req.ID == "" {
 			s.queue.Kill(h.ID())
 		}
+		s.stats.Aborted++
 		s.tracer.Emit(trace.Event{Kind: trace.CommitAborted, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 		return nil, fmt.Errorf("%w: %s died before commit", ErrCommitAborted, s.cfg.Name)
 	}
+	s.stats.Committed++
 	s.tracer.Emit(trace.Event{Kind: trace.Committed, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 	return h, nil
 }

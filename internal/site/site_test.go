@@ -138,3 +138,69 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Fatal("default attrs missing")
 	}
 }
+
+func TestStartPublishingIdempotent(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := New(sim, Config{Name: "x", Nodes: 1, PublishInterval: time.Minute, Network: netsim.CampusGrid()})
+	is := infosys.New(sim, 0)
+	// Two federated brokers registering the same site must not start
+	// two publish loops.
+	s.StartPublishing(is)
+	epoch := is.Epoch()
+	s.StartPublishing(is)
+	if is.Epoch() != epoch {
+		t.Fatal("second StartPublishing republished immediately")
+	}
+	sim.RunFor(150 * time.Second) // 2 ticks of one loop, 4 of two
+	if got := is.Epoch() - epoch; got != 2 {
+		t.Fatalf("%d publishes in 150s, want 2 (one loop)", got)
+	}
+}
+
+func TestCommitStatsCountRacedWindows(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 2)
+	// Two brokers submit in the same tick: identical middleware costs
+	// keep them in lockstep, so their commit windows overlap and the
+	// site sees the race in MaxInflight.
+	for i := 0; i < 2; i++ {
+		id := string(rune('a' + i))
+		sim.Go(func() {
+			_, err := s.Submit(batch.Request{ID: id, Nodes: 1, Run: func(ctx *batch.ExecCtx) {}}, SubmitOptions{})
+			if err != nil {
+				t.Errorf("submit %s: %v", id, err)
+			}
+		})
+	}
+	sim.RunFor(time.Hour)
+	st := s.Stats()
+	if st.Sent != 2 || st.Committed != 2 || st.Aborted != 0 {
+		t.Fatalf("stats = %+v, want 2 sent / 2 committed", st)
+	}
+	if st.MaxInflight != 2 {
+		t.Fatalf("MaxInflight = %d, want 2 (overlapping commit windows)", st.MaxInflight)
+	}
+}
+
+func TestCommitStatsCountAbort(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	s := newSite(sim, 1)
+	sim.Go(func() {
+		_, err := s.Submit(batch.Request{ID: "j", Nodes: 1, Run: func(ctx *batch.ExecCtx) {}}, SubmitOptions{})
+		if err == nil {
+			t.Error("submit survived a mid-commit outage")
+		}
+	})
+	// Cut the site inside the commit window: phase 1 is accepted after
+	// Stage+RTT+Auth+GRAM, the ack takes one more RTT.
+	c := DefaultCosts()
+	rtt := netsim.CampusGrid().RTT()
+	sim.AfterFunc(c.Stage+c.Auth+c.GRAM+rtt+rtt/2, func() {
+		s.SetUnreachable(true)
+	})
+	sim.RunFor(time.Hour)
+	st := s.Stats()
+	if st.Sent != 1 || st.Aborted != 1 || st.Committed != 0 {
+		t.Fatalf("stats = %+v, want 1 sent / 1 aborted", st)
+	}
+}

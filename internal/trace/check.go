@@ -50,6 +50,19 @@ type attemptKey struct {
 //  4. Two-phase commit — per (job, attempt): at most one CommitSent;
 //     Committed or CommitAborted only after CommitSent; never both,
 //     and in particular Committed never follows CommitAborted.
+//  5. At-most-once execution — per (job, attempt), at most one Started
+//     event. In a merged multi-broker log a duplicate means two brokers
+//     ran the same attempt of the same job: a double allocation the
+//     federation's transfer protocol must make impossible.
+//  6. Offload pairing — per job, at most one transfer lease outstanding
+//     at a time: OffloadSent while a previous transfer is unresolved,
+//     or OffloadAccepted without an outstanding OffloadSent, is a
+//     breach. OffloadOrphaned resolves an outstanding transfer (it is
+//     also legal after acceptance: the origin reclaiming from a dead
+//     peer).
+//
+// Invariants 1, 5 and 6 are meaningful across brokers: run Check over
+// MergeByTime of every broker's log to verify a federation grid-wide.
 func Check(events []Event) []Violation {
 	var out []Violation
 	violate := func(seq uint64, job, format string, args ...any) {
@@ -61,6 +74,8 @@ func Check(events []Event) []Violation {
 	terminal := make(map[string]Kind)  // job -> terminal kind seen
 	lastResub := make(map[string]int)  // job -> last attempt index
 	commits := make(map[attemptKey]Kind)
+	started := make(map[attemptKey]bool) // (job, attempt) -> Started seen
+	offload := make(map[string]bool)     // job -> transfer lease outstanding
 
 	for _, e := range events {
 		if e.Job != "" && e.Kind.Lifecycle() {
@@ -102,6 +117,26 @@ func Check(events []Event) []Violation {
 					held[k] = 0
 				}
 			}
+		case Started:
+			k := attemptKey{e.Job, e.Attempt}
+			if started[k] {
+				violate(e.Seq, e.Job, "duplicate started for attempt %d", e.Attempt)
+			}
+			started[k] = true
+		case OffloadSent:
+			if offload[e.Job] {
+				violate(e.Seq, e.Job, "offload-sent with a transfer already in flight")
+			}
+			offload[e.Job] = true
+		case OffloadAccepted:
+			if !offload[e.Job] {
+				violate(e.Seq, e.Job, "offload-accepted without outstanding offload-sent")
+			}
+			offload[e.Job] = false
+		case OffloadOrphaned:
+			// Legal both for an outstanding transfer (request or ack
+			// lost) and after acceptance (reclaim from a dead peer).
+			offload[e.Job] = false
 		case Resubmitted:
 			if last, ok := lastResub[e.Job]; ok && e.Attempt <= last {
 				violate(e.Seq, e.Job, "resubmit attempt %d not after %d", e.Attempt, last)

@@ -1,0 +1,42 @@
+package trace
+
+import "sort"
+
+// MergeByTime interleaves several tracers' logs into one stream ordered
+// by virtual time, re-assigning sequence numbers. Ties (events at the
+// same instant) keep the input order: trace index first, then the
+// original sequence — so merging is deterministic for deterministic
+// inputs. Federated runs use it to check cross-broker invariants
+// (global lease balance, at-most-once execution) over the combined
+// event log of every broker.
+func MergeByTime(traces []Trace) Trace {
+	n := 0
+	for _, tr := range traces {
+		n += len(tr.Events)
+	}
+	type tagged struct {
+		e     Event
+		trace int
+	}
+	all := make([]tagged, 0, n)
+	for ti, tr := range traces {
+		for _, e := range tr.Events {
+			all = append(all, tagged{e: e, trace: ti})
+		}
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].e.T != all[j].e.T {
+			return all[i].e.T < all[j].e.T
+		}
+		if all[i].trace != all[j].trace {
+			return all[i].trace < all[j].trace
+		}
+		return all[i].e.Seq < all[j].e.Seq
+	})
+	out := Trace{Label: "merged", Events: make([]Event, n)}
+	for i, t := range all {
+		out.Events[i] = t.e
+		out.Events[i].Seq = uint64(i)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// stamp builds one broker's event log with explicit virtual-time
+// offsets (seconds), mimicking Emit on that broker's tracer.
+func stamp(events []Event, at []int) Trace {
+	for i := range events {
+		events[i].Seq = uint64(i)
+		events[i].T = time.Duration(at[i]) * time.Second
+		events[i].Name = events[i].Kind.String()
+	}
+	return Trace{Events: events}
+}
+
+// twoBrokerLogs is a clean federated run: broker A submits two jobs,
+// offloads one to broker B under queue pressure, and both complete at
+// their owners. Each broker's tracer records only its own side.
+func twoBrokerLogs() (a, b Trace) {
+	a = stamp([]Event{
+		{Kind: Submitted, Job: "bA-000001"},
+		{Kind: Submitted, Job: "bA-000002"},
+		{Kind: LeaseAcquired, Job: "bA-000001", Site: "s0", N: 1},
+		{Kind: CommitSent, Job: "bA-000001", Site: "s0"},
+		{Kind: Committed, Job: "bA-000001", Site: "s0"},
+		{Kind: Started, Job: "bA-000001", Site: "s0"},
+		{Kind: LeaseReleased, Job: "bA-000001", Site: "s0", N: 1},
+		{Kind: OffloadSent, Job: "bA-000002", Site: "brokerA", Detail: "brokerB"},
+		{Kind: Done, Job: "bA-000001", Site: "s0"},
+	}, []int{0, 1, 2, 3, 4, 5, 6, 7, 20})
+	b = stamp([]Event{
+		{Kind: OffloadAccepted, Job: "bA-000002", Site: "brokerA", Detail: "brokerB"},
+		{Kind: LeaseAcquired, Job: "bA-000002", Site: "s1", N: 1},
+		{Kind: CommitSent, Job: "bA-000002", Site: "s1"},
+		{Kind: Committed, Job: "bA-000002", Site: "s1"},
+		{Kind: Started, Job: "bA-000002", Site: "s1"},
+		{Kind: LeaseReleased, Job: "bA-000002", Site: "s1", N: 1},
+		{Kind: Done, Job: "bA-000002", Site: "s1"},
+	}, []int{9, 10, 11, 12, 13, 14, 21})
+	return a, b
+}
+
+func TestMergeByTimeOrdersAndReseqs(t *testing.T) {
+	a, b := twoBrokerLogs()
+	m := MergeByTime([]Trace{a, b})
+	if len(m.Events) != len(a.Events)+len(b.Events) {
+		t.Fatalf("merged %d events, want %d", len(m.Events), len(a.Events)+len(b.Events))
+	}
+	for i, e := range m.Events {
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if i > 0 && e.T < m.Events[i-1].T {
+			t.Fatalf("event %d at %v before predecessor at %v", i, e.T, m.Events[i-1].T)
+		}
+	}
+}
+
+func TestMergedTwoBrokerTracePassesCheckComplete(t *testing.T) {
+	a, b := twoBrokerLogs()
+	m := MergeByTime([]Trace{a, b})
+	if vs := CheckComplete(m.Events); len(vs) != 0 {
+		t.Fatalf("clean merged trace flagged: %v", vs)
+	}
+}
+
+func TestMergedTraceDetectsDuplicateStarted(t *testing.T) {
+	// Hand-corrupt the merge: broker B also starts bA-000001 (same
+	// attempt), the double-allocation the transfer protocol forbids.
+	a, b := twoBrokerLogs()
+	b.Events = append(b.Events, Event{Kind: Started, Job: "bA-000001", Site: "s1",
+		Seq: uint64(len(b.Events)), T: 15 * time.Second, Name: Started.String()})
+	m := MergeByTime([]Trace{a, b})
+	found := false
+	for _, v := range CheckComplete(m.Events) {
+		if v.Job == "bA-000001" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("duplicate started for bA-000001 not detected")
+	}
+}
+
+func TestCheckOffloadPairing(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: OffloadAccepted, Job: "j1"},
+		{Kind: Done, Job: "j1"},
+	}, "without outstanding offload-sent")
+	wantViolation(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: OffloadSent, Job: "j1"},
+		{Kind: OffloadSent, Job: "j1"},
+	}, "already in flight")
+	// Orphan after acceptance (reclaim from a dead peer) is legal, and
+	// a fresh transfer may follow the reclaim.
+	wantClean(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: OffloadSent, Job: "j1"},
+		{Kind: OffloadAccepted, Job: "j1"},
+		{Kind: OffloadOrphaned, Job: "j1", Detail: "peer-crash"},
+		{Kind: OffloadSent, Job: "j1"},
+		{Kind: OffloadAccepted, Job: "j1"},
+		{Kind: Started, Job: "j1", Site: "s0"},
+		{Kind: Done, Job: "j1"},
+	})
+}
+
+func TestCheckDuplicateStartedSameAttempt(t *testing.T) {
+	wantViolation(t, []Event{
+		{Kind: Submitted, Job: "j1"},
+		{Kind: Started, Job: "j1", Site: "s0"},
+		{Kind: Started, Job: "j1", Site: "s1"},
+	}, "duplicate started")
+}

@@ -99,6 +99,26 @@ const (
 	FaultInjected
 )
 
+// Federation events (Job set; Site carries the sending broker and
+// Detail the receiving broker). They track the cross-broker transfer
+// lease of a queued job being offloaded to a peer or supervisor; the
+// checker enforces their pairing (at most one transfer in flight per
+// job, acceptance only for an outstanding transfer).
+const (
+	// OffloadSent marks a broker shipping a queued job to a peer: the
+	// origin holds a transfer lease until the acknowledgment (or its
+	// timeout) resolves it.
+	OffloadSent Kind = iota + 64
+	// OffloadAccepted marks the receiving broker taking ownership; the
+	// job's lifecycle continues there under the same ID.
+	OffloadAccepted
+	// OffloadOrphaned marks a transfer lease resolving without a clean
+	// acknowledgment: the request or ack was lost, or the receiving
+	// broker died — Detail says which, and reconciliation decides the
+	// single owner.
+	OffloadOrphaned
+)
+
 var kindNames = map[Kind]string{
 	Submitted:       "submitted",
 	Matched:         "matched",
@@ -123,6 +143,9 @@ var kindNames = map[Kind]string{
 	SiteRestarted:   "site-restarted",
 	AgentDied:       "agent-died",
 	FaultInjected:   "fault-injected",
+	OffloadSent:     "offload-sent",
+	OffloadAccepted: "offload-accepted",
+	OffloadOrphaned: "offload-orphaned",
 }
 
 var kindByName = func() map[string]Kind {
