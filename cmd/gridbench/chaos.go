@@ -26,10 +26,13 @@ type chaosReport struct {
 // byte-identical point lists (and, with -traceout, byte-identical
 // event logs). A non-empty traceout enables per-cell tracing, checks
 // every cell's log against the trace invariants, and exports the logs
-// as JSONL.
-func chaos(out, traceout string, quick bool, seed int64) error {
+// as JSONL. With delta set, matchmaking runs through the
+// delta-subscription path with explicit infosys partition windows, so
+// the exported traces carry DeltaPublished/SubscriptionGap events and
+// the checker's staleness invariant has something to bite on.
+func chaos(out, traceout string, quick, delta bool, seed int64) error {
 	pts, err := experiments.ChaosSweep(experiments.ChaosConfig{
-		Seed: seed, Quick: quick, Traced: traceout != "",
+		Seed: seed, Quick: quick, Traced: traceout != "", Delta: delta,
 	})
 	if err != nil {
 		return err

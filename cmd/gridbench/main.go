@@ -61,6 +61,10 @@ func realMain() int {
 	pageSize := flag.Int("pagesize", 0, "discovery page size for -exp scale (0 = infosys default)")
 	scaleOut := flag.String("scaleout", "BENCH_infosys.json", "output path for -exp scale")
 	scaleBaseline := flag.String("scalebaseline", "", "committed BENCH_infosys.json to compare -exp scale results against")
+	churn := flag.String("churn", "0,64,256,1024", "comma-separated churn-axis publish rates for -exp scale")
+	churnSites := flag.Int("churnsites", 50000, "grid size for the -exp scale churn axis")
+	deltaDepth := flag.Int("deltadepth", 256, "per-shard delta log depth for -exp scale delta cells")
+	deltaChaos := flag.Bool("delta", false, "route -exp chaos matchmaking through the delta-subscription path")
 	tracePath := flag.String("trace", "", "SWF/GWF workload log to drive -exp replay")
 	synth := flag.Int("synth", 0, "generate a deterministic synthetic archive with this many jobs for -exp replay (instead of -trace)")
 	replayOut := flag.String("replayout", "BENCH_replay.json", "output path for -exp replay")
@@ -127,9 +131,14 @@ func realMain() int {
 	run("ablations", func() error { return ablations(*scale, *seed) })
 	run("bench", func() error { return bench(*benchOut, *baseline, *tolerance) })
 	run("scale", func() error {
-		return scaleExp(*scaleOut, *scaleBaseline, *shards, *pageSize, *quick, *seed, *tolerance)
+		rates, err := parseIntList(*churn)
+		if err != nil {
+			return fmt.Errorf("-churn: %w", err)
+		}
+		return scaleExp(*scaleOut, *scaleBaseline, *shards, *pageSize, *quick, *seed, *tolerance,
+			rates, *churnSites, *deltaDepth)
 	})
-	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *seed) })
+	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *deltaChaos, *seed) })
 	run("federation", func() error {
 		return federation(*fedOut, *fedBaseline, *traceOut, *quick, *seed, *tolerance)
 	})

@@ -197,6 +197,14 @@ type Config struct {
 	// matter how many sites match. 0 (the default) keeps every match,
 	// which reproduces the whole-snapshot pass exactly.
 	TopK int
+	// Incremental routes matchmaking through the delta-subscription
+	// path: the broker mirrors the registry by polling per-shard
+	// epoch deltas (infosys.DeltaSource, which Info must implement)
+	// and keeps standing per-job rank trees repaired only for sites
+	// named in arriving deltas, so pass cost is proportional to churn
+	// instead of grid size. TopK and the probe/rank pipeline behave
+	// exactly as on the streamed path.
+	Incremental bool
 	// Trace records per-job lifecycle events (internal/trace). Nil —
 	// the default — disables tracing; instrumented paths then pay one
 	// nil check per potential event.
@@ -356,6 +364,13 @@ type Handle struct {
 	// Config.TopK when the streamed pass prunes with a rank heap.
 	scanned int
 	peak    int
+	// Incremental-path bookkeeping for the last pass: the global
+	// epoch the deciding delta poll caught up to, when the poll
+	// started, and how many deltas / shard re-pins it applied.
+	matchEpoch uint64
+	polledAt   time.Time
+	deltas     int
+	repins     int
 
 	submittedAt time.Time
 	finishedAt  time.Time
@@ -432,6 +447,10 @@ type Broker struct {
 	// offloader is the federation's queue-pressure hook (SetOffloader);
 	// nil outside a federation.
 	offloader func(h *Handle) bool
+
+	// sub is the delta-subscription mirror (incremental.go); non-nil
+	// only when Config.Incremental is set.
+	sub *subscriber
 }
 
 // agentEntry pairs a registered agent with its hosting site in the
@@ -447,7 +466,7 @@ func New(cfg Config) *Broker {
 	if cfg.Sim == nil {
 		panic("broker: Config.Sim is required")
 	}
-	return &Broker{
+	b := &Broker{
 		cfg:        cfg,
 		sim:        cfg.Sim,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
@@ -457,6 +476,14 @@ func New(cfg Config) *Broker {
 		leases:     make(map[string]*leaseQueue),
 		health:     make(map[string]*siteHealth),
 	}
+	if cfg.Incremental {
+		src, ok := cfg.Info.(infosys.DeltaSource)
+		if !ok {
+			panic("broker: Config.Incremental requires an Info that serves delta subscriptions (infosys.Service or View)")
+		}
+		b.sub = newSubscriber(b, src)
+	}
+	return b
 }
 
 // RegisterSite makes a site available for scheduling and starts its
@@ -688,6 +715,9 @@ func (b *Broker) fail(h *Handle, err error) {
 		kind = trace.Aborted
 	}
 	b.cfg.Trace.Emit(trace.Event{Kind: kind, Job: h.ID, Site: h.site, Attempt: h.resub, Detail: err.Error()})
+	if b.sub != nil {
+		b.sub.drop(h.request.Job)
+	}
 	h.Done.Fire()
 }
 
@@ -698,8 +728,25 @@ func (b *Broker) finish(h *Handle) {
 	h.state = Done
 	h.finishedAt = b.sim.Now()
 	b.cfg.Trace.Emit(trace.Event{Kind: trace.Done, Job: h.ID, Site: h.site, Attempt: h.resub})
+	if b.sub != nil {
+		b.sub.drop(h.request.Job)
+	}
 	h.Done.Fire()
 	b.kickDispatch()
+}
+
+// matchedEvent builds a Matched trace event for h's current attempt.
+// On the incremental path it stamps the global epoch the deciding
+// delta poll caught up to and the time elapsed since that poll — the
+// freshness evidence the trace checker's staleness invariant audits;
+// both fields stay zero (omitted from exports) on the other paths.
+func (b *Broker) matchedEvent(h *Handle, site string, rank float64) trace.Event {
+	ev := trace.Event{Kind: trace.Matched, Job: h.ID, Site: site, Rank: rank, Attempt: h.resub}
+	if h.matchEpoch > 0 {
+		ev.Epoch = h.matchEpoch
+		ev.Dur = b.sim.Now().Sub(h.polledAt)
+	}
+	return ev
 }
 
 // noteResub advances a job's attempt counter after a failed attempt at

@@ -94,15 +94,36 @@ func (b *Broker) discover(h *Handle) *infosys.Snapshot {
 // state probe: idx is the site's record index in snap (the snapshot —
 // whole-grid or per-shard — the record was matched from), free and
 // queued are filled by probeSites, prelim and noise order the
-// streamed pass's top-K heap.
+// streamed pass's top-K heap. The incremental pass has no snapshot; it
+// carries the mirror's flat value vector and schema instead.
 type probeTask struct {
 	st           *site.Site
 	snap         *infosys.Snapshot
+	vals         []any           // snapshot-less (incremental) source: flat values...
+	schema       *infosys.Schema // ...laid out against this schema
 	idx          int
 	free, queued int
 	ok           bool    // direct probe answered (site reachable)
 	prelim       float64 // published-state rank (top-K heap ordering)
 	noise        float64 // seeded tie-break, shared with the final order
+}
+
+// matchSchema returns the schema the task's attributes are laid out
+// against, whichever source the pass matched it from.
+func (p *probeTask) matchSchema() *infosys.Schema {
+	if p.snap != nil {
+		return p.snap.Schema()
+	}
+	return p.schema
+}
+
+// matchAttrs returns a pooled flat attribute vector for the task's
+// record; the caller must Release it.
+func (p *probeTask) matchAttrs() *infosys.MatchAttrs {
+	if p.snap != nil {
+		return p.snap.MatchAttrs(p.idx)
+	}
+	return infosys.PooledMatchAttrs(p.schema, p.vals)
 }
 
 // probeBetter orders heap entries by preliminary rank descending, then
@@ -130,10 +151,15 @@ func (h *topkHeap) Push(x any)        { *h = append(*h, x.(probeTask)) }
 func (h *topkHeap) Pop() any          { old := *h; n := len(old) - 1; x := old[n]; *h = old[:n]; return x }
 
 // matchPass runs one discovery+selection attempt for h. By default the
-// registry streams past page by page (matchStream); Config.PageSize <
-// 0 selects the pre-paging whole-snapshot pass, kept as the reference
-// path. Must run in a simulation process.
+// registry streams past page by page (matchStream); Config.Incremental
+// routes the pass through the delta-subscription matchmaker
+// (incremental.go); Config.PageSize < 0 selects the pre-paging
+// whole-snapshot pass, kept as the reference path. Must run in a
+// simulation process.
 func (b *Broker) matchPass(h *Handle, excluded map[string]bool) []candidate {
+	if b.cfg.Incremental {
+		return b.matchIncremental(h, excluded)
+	}
 	if b.cfg.PageSize < 0 {
 		snap := b.discover(h)
 		return b.selection(h, snap, excluded)
@@ -312,9 +338,9 @@ func (b *Broker) finishSelection(h *Handle, kept []probeTask) []candidate {
 			continue
 		}
 		c := candidate{site: p.st, free: p.free, queued: p.queued, noise: p.noise}
-		_, rank := job.CompiledPredicates(p.snap.Schema())
+		_, rank := job.CompiledPredicates(p.matchSchema())
 		if rank != nil {
-			m := p.snap.MatchAttrs(p.idx)
+			m := p.matchAttrs()
 			m.SetFloat(infosys.AttrFreeCPUs, float64(p.free))
 			m.SetFloat(infosys.AttrQueuedJobs, float64(p.queued))
 			r, err := rank.EvalNumber(m.Values())
@@ -445,6 +471,10 @@ type PassStats struct {
 	Peak int
 	// Unavailable counts matches skipped as quarantined or probe-dead.
 	Unavailable int
+	// Deltas and Repins count, for the incremental pass, the per-site
+	// deltas applied and the shard snapshot re-pins (gap fallbacks) the
+	// deciding poll performed; zero on the other paths.
+	Deltas, Repins int
 	// Discovery and Selection are the simulated phase durations.
 	Discovery, Selection time.Duration
 }
@@ -460,6 +490,8 @@ func (b *Broker) SelectionPassStats(job *jdl.Job) PassStats {
 		Candidates:  len(cands),
 		Peak:        h.peak,
 		Unavailable: h.unavailable,
+		Deltas:      h.deltas,
+		Repins:      h.repins,
 		Discovery:   h.Phases.Discovery,
 		Selection:   h.Phases.Selection,
 	}

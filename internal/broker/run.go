@@ -151,7 +151,7 @@ func (b *Broker) runBatch(h *Handle) {
 	}
 
 	st := chosen.site
-	b.cfg.Trace.Emit(trace.Event{Kind: trace.Matched, Job: h.ID, Site: st.Name(), Rank: chosen.rank, Attempt: h.resub})
+	b.cfg.Trace.Emit(b.matchedEvent(h, st.Name(), chosen.rank))
 	b.lease(h, st.Name(), job.NodeNumber)
 	h.state = Submitted
 	h.site = st.Name()
@@ -335,7 +335,7 @@ func (b *Broker) runInteractiveExclusive(h *Handle) {
 			break
 		}
 		anyFree = true
-		b.cfg.Trace.Emit(trace.Event{Kind: trace.Matched, Job: h.ID, Site: chosen.site.Name(), Rank: chosen.rank, Attempt: h.resub})
+		b.cfg.Trace.Emit(b.matchedEvent(h, chosen.site.Name(), chosen.rank))
 		if b.runExclusiveAttempt(h, chosen.site) {
 			return
 		}

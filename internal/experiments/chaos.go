@@ -48,6 +48,9 @@ type ChaosPoint struct {
 	// MaxQuarantined is the largest number of simultaneously
 	// quarantined sites observed (sampled once per simulated minute).
 	MaxQuarantined int `json:"max_quarantined"`
+	// Delta records that the cell matched through the
+	// delta-subscription incremental path.
+	Delta bool `json:"delta,omitempty"`
 	// LeakedLeases is the broker's leased-CPU count after the grid
 	// drained — always zero when recovery is correct.
 	LeakedLeases int `json:"leaked_leases"`
@@ -87,6 +90,13 @@ type ChaosConfig struct {
 	// tracer and its own virtual clock, so the logs stay byte-stable
 	// for a fixed seed even with concurrent workers.
 	Traced bool
+	// Delta routes matchmaking through the delta-subscription
+	// incremental path (sharded information service, per-shard delta
+	// logs) instead of snapshot discovery, and injects two explicit
+	// InfosysPartition windows on top of the rate-driven schedule so
+	// the partition→bounded-subscription→heal→catch-up path is
+	// exercised at every rate, including rate 0.
+	Delta bool
 }
 
 func (c *ChaosConfig) setDefaults() {
@@ -131,18 +141,26 @@ func ChaosSweep(cfg ChaosConfig) ([]ChaosPoint, error) {
 }
 
 func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
-	p := ChaosPoint{CrashRate: rate}
+	p := ChaosPoint{CrashRate: rate, Delta: cfg.Delta}
 	sim := simclock.NewSim(time.Time{})
-	info := infosys.New(sim, 250*time.Millisecond)
 	var tr *trace.Tracer
 	if cfg.Traced {
 		tr = trace.New(sim.Now)
 	}
+	var info *infosys.Service
+	if cfg.Delta {
+		info = infosys.NewSharded(sim, 250*time.Millisecond, 4)
+		info.SetDeltaLog(64)
+		info.SetTracer(tr)
+	} else {
+		info = infosys.New(sim, 250*time.Millisecond)
+	}
 	b := broker.New(broker.Config{
-		Sim:   sim,
-		Info:  info,
-		Trace: tr,
-		Seed:  cfg.Seed + idx,
+		Sim:         sim,
+		Info:        info,
+		Trace:       tr,
+		Seed:        cfg.Seed + idx,
+		Incremental: cfg.Delta,
 		// Recovery knobs: bounded resubmission with capped exponential
 		// backoff, circuit-breaker quarantine, heartbeat monitoring.
 		MaxResubmits:        10,
@@ -176,7 +194,7 @@ func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
 	}
 	inj.SetInfosys(info)
 	inj.SetAgentKiller(b)
-	inj.Start(faultinject.Schedule{
+	sched := faultinject.Schedule{
 		Seed:    cfg.Seed + idx,
 		Horizon: cfg.Horizon,
 		Rates: faultinject.Rates{
@@ -187,7 +205,19 @@ func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
 			PartitionsPerHour:  rate / 4, MeanPartition: 2 * time.Minute,
 			OutagesPerHour: rate / 2, MeanOutage: time.Minute,
 		},
-	})
+	}
+	if cfg.Delta {
+		// Two guaranteed partition windows, so every delta cell — rate
+		// 0 included — exercises bounded subscriptions during the cut
+		// and the delta/re-pin catch-up after the heal. checktrace's
+		// freshness invariant then proves no post-heal match used a
+		// stale epoch.
+		sched.Events = append(sched.Events,
+			faultinject.Event{At: 20 * time.Minute, Kind: faultinject.InfosysPartition, Duration: 5 * time.Minute},
+			faultinject.Event{At: 40 * time.Minute, Kind: faultinject.InfosysPartition, Duration: 10 * time.Minute},
+		)
+	}
+	inj.Start(sched)
 
 	// Quarantine sampler: record the high-water mark of simultaneously
 	// quarantined sites, once per simulated minute.

@@ -17,19 +17,23 @@ import (
 
 // ScaleConfig parametrizes the information-system scaling sweep: how
 // matchmaking-pass latency and memory behave as the grid grows from
-// hundreds to thousands of sites, with the registry sharded and
-// discovery paged versus the classic single-snapshot pass.
+// hundreds to tens of thousands of sites, comparing the classic
+// whole-snapshot pass, the paged top-K stream, and the
+// delta-subscription incremental pass — plus a churn axis at fixed
+// grid size that contrasts the delta path against its log-compacted
+// degraded mode (snapshot re-pins).
 type ScaleConfig struct {
 	// Points are the grid sizes to measure (default 100, 250, 500,
-	// 1000, 2500, 5000).
+	// 1000, 2500, 5000, 50000).
 	Points []int
-	// Shards is the information-service shard count for the paged
-	// cells (default 16).
+	// Shards is the information-service shard count for the paged and
+	// delta cells (default 16).
 	Shards int
 	// PageSize is the discovery page size for the paged cells
 	// (default infosys.DefaultPageSize).
 	PageSize int
-	// TopK bounds the paged pass's candidate heap (default 16).
+	// TopK bounds the paged and incremental passes' candidate sets
+	// (default 16).
 	TopK int
 	// Passes is the number of measured matchmaking passes per cell
 	// (default 5); pass latency is identical across passes (virtual
@@ -37,11 +41,28 @@ type ScaleConfig struct {
 	Passes int
 	// Seed drives the broker's randomized selection.
 	Seed int64
+	// ChurnPerPass is how many republishes land between consecutive
+	// passes of the size-axis delta cells (default 64), keeping the
+	// delta path exercised — not idle — as the grid grows.
+	ChurnPerPass int
+	// ChurnRates are the churn-axis points: republishes per pass at
+	// the fixed ChurnSites grid size, each measured on the delta path
+	// and on the re-pin path. Empty skips the churn axis (gridbench
+	// always supplies rates via -churn; default there 0, 64, 256,
+	// 1024).
+	ChurnRates []int
+	// ChurnSites is the churn axis's grid size (default 50000 when
+	// ChurnRates is set).
+	ChurnSites int
+	// DeltaLogDepth is the per-shard delta log depth for the delta
+	// cells (default 256); the repin cells force 0, so every
+	// epoch-advancing poll falls back to a shard snapshot re-pin.
+	DeltaLogDepth int
 }
 
 func (c *ScaleConfig) setDefaults() {
 	if len(c.Points) == 0 {
-		c.Points = []int{100, 250, 500, 1000, 2500, 5000}
+		c.Points = []int{100, 250, 500, 1000, 2500, 5000, 50000}
 	}
 	if c.Shards <= 0 {
 		c.Shards = 16
@@ -55,6 +76,15 @@ func (c *ScaleConfig) setDefaults() {
 	if c.Passes <= 0 {
 		c.Passes = 5
 	}
+	if c.ChurnPerPass <= 0 {
+		c.ChurnPerPass = 64
+	}
+	if len(c.ChurnRates) > 0 && c.ChurnSites <= 0 {
+		c.ChurnSites = 50000
+	}
+	if c.DeltaLogDepth <= 0 {
+		c.DeltaLogDepth = 256
+	}
 }
 
 // ScalePoint is one measured cell of the sweep. Every field is
@@ -65,18 +95,27 @@ func (c *ScaleConfig) setDefaults() {
 type ScalePoint struct {
 	// Sites is the grid size.
 	Sites int `json:"sites"`
-	// Mode is "paged" (sharded registry, streamed top-K selection) or
-	// "snapshot" (the classic whole-grid pass, the baseline).
+	// Mode is "snapshot" (the classic whole-grid pass, the baseline),
+	// "paged" (sharded registry, streamed top-K selection), "delta"
+	// (delta-subscription incremental pass) or "repin" (the delta path
+	// with the log disabled, so every poll re-pins shard snapshots).
 	Mode string `json:"mode"`
 	// Shards, PageSize and TopK echo the cell configuration (1/-1/0
 	// for snapshot mode).
 	Shards   int `json:"shards"`
 	PageSize int `json:"page_size"`
 	TopK     int `json:"top_k"`
+	// Churn is how many republishes landed between passes (delta and
+	// repin cells; zero elsewhere).
+	Churn int `json:"churn,omitempty"`
+	// DeltaDepth echoes the per-shard delta log depth (delta cells).
+	DeltaDepth int `json:"delta_depth,omitempty"`
 	// PassMicros is one matchmaking pass's virtual-time latency
 	// (discovery + selection) in microseconds.
 	PassMicros int64 `json:"pass_micros"`
-	// DiscoveryMicros is the discovery share of PassMicros.
+	// DiscoveryMicros is the discovery share of PassMicros (for the
+	// delta and repin cells: the poll — where the delta-vs-re-pin wire
+	// cost shows).
 	DiscoveryMicros int64 `json:"discovery_micros"`
 	// AllocsPerPass is the minimum heap allocations one pass cost.
 	// With the event and scratch pools warm this is near-constant for
@@ -85,35 +124,61 @@ type ScalePoint struct {
 	// BytesPerPass is the minimum bytes one pass allocated. The
 	// whole-snapshot pass materializes every record's probe task, so
 	// this grows with the grid, while the paged pass stays bounded by
-	// page size + K.
+	// page size + K and the delta pass by churn.
 	BytesPerPass uint64 `json:"bytes_per_pass"`
 	// PeakCandidates is the most candidates the pass held at once —
 	// the per-pass memory high-water mark the top-K heap bounds.
 	PeakCandidates int `json:"peak_candidates"`
-	// Scanned counts registry records enumerated per pass.
+	// Scanned counts registry records enumerated per pass (for the
+	// incremental pass: mirror size).
 	Scanned int `json:"scanned"`
 	// Candidates is the ordered candidate count the pass returned.
 	Candidates int `json:"candidates"`
+	// DeltasPerPass and RepinsPerPass report, for the delta and repin
+	// cells, what the steady-state poll applied.
+	DeltasPerPass int `json:"deltas_per_pass,omitempty"`
+	RepinsPerPass int `json:"repins_per_pass,omitempty"`
+}
+
+// ScalePointKey names a cell for baseline comparison and
+// deduplication.
+func ScalePointKey(p ScalePoint) string {
+	if p.Churn > 0 {
+		return fmt.Sprintf("%s/sites=%d/churn=%d", p.Mode, p.Sites, p.Churn)
+	}
+	return fmt.Sprintf("%s/sites=%d", p.Mode, p.Sites)
 }
 
 // scaleJob is the representative job the sweep matches: a string
-// Requirements over published attributes; default ranking (free CPUs)
-// so every site ties and the tie-break and heap are exercised.
+// Requirements over published attributes and a Rank over MemoryMB, so
+// preliminary ranks form many small tie groups — the top-K heap, the
+// boundary tie-break and the standing trees' re-rank path are all
+// exercised without collapsing into one grid-wide tie.
 func scaleJob() (*jdl.Job, error) {
 	return jdl.ParseJob(`
 Executable   = "scaleprobe";
 JobType      = {"interactive", "sequential"};
 Requirements = other.OS == "linux" && other.MemoryMB >= 256;
+Rank         = other.MemoryMB;
 `)
 }
 
+// scaleSpec names one cell of the sweep.
+type scaleSpec struct {
+	sites int
+	mode  string // "snapshot", "paged", "delta", "repin"
+	churn int    // republishes between passes (delta/repin)
+}
+
 // ScaleSweep measures matchmaking passes over grids of cfg.Points
-// sites, in paged mode (sharded registry, paged discovery, top-K rank
-// heap) and snapshot mode (the pre-sharding whole-grid pass) — the
-// -exp scale experiment behind BENCH_infosys.json. Cells run
-// sequentially: allocation accounting is process-global, and
-// determinism (byte-identical output across runs) is part of the
-// contract.
+// sites — snapshot mode (the pre-sharding whole-grid pass), paged mode
+// (sharded registry, paged discovery, top-K rank heap) and delta mode
+// (delta-subscription incremental pass under ChurnPerPass churn) — and
+// then walks the churn axis at ChurnSites: each ChurnRates value on
+// the delta path and on the log-disabled re-pin path. This is the -exp
+// scale experiment behind BENCH_infosys.json. Cells run sequentially:
+// allocation accounting is process-global, and determinism
+// (byte-identical output across runs) is part of the contract.
 func ScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 	cfg.setDefaults()
 	job, err := scaleJob()
@@ -121,34 +186,74 @@ func ScaleSweep(cfg ScaleConfig) ([]ScalePoint, error) {
 		return nil, err
 	}
 	var out []ScalePoint
+	seen := make(map[string]bool)
+	add := func(spec scaleSpec) error {
+		key := ScalePointKey(ScalePoint{Sites: spec.sites, Mode: spec.mode, Churn: spec.churn})
+		if seen[key] {
+			return nil
+		}
+		seen[key] = true
+		pt, err := scaleCell(cfg, job, spec)
+		if err != nil {
+			return err
+		}
+		out = append(out, pt)
+		return nil
+	}
 	for _, n := range cfg.Points {
-		paged, err := scaleCell(cfg, job, n, true)
-		if err != nil {
-			return nil, err
+		for _, spec := range []scaleSpec{
+			{n, "paged", 0},
+			{n, "snapshot", 0},
+			{n, "delta", cfg.ChurnPerPass},
+		} {
+			if err := add(spec); err != nil {
+				return nil, err
+			}
 		}
-		snap, err := scaleCell(cfg, job, n, false)
-		if err != nil {
-			return nil, err
+	}
+	for _, churn := range cfg.ChurnRates {
+		for _, mode := range []string{"delta", "repin"} {
+			if err := add(scaleSpec{cfg.ChurnSites, mode, churn}); err != nil {
+				return nil, err
+			}
 		}
-		out = append(out, paged, snap)
 	}
 	return out, nil
 }
 
-// scaleCell measures one (sites, mode) cell on a fresh grid.
-func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, error) {
-	pt := ScalePoint{Sites: n, Mode: "snapshot", Shards: 1, PageSize: -1}
+// scaleCell measures one cell on a fresh grid.
+func scaleCell(cfg ScaleConfig, job *jdl.Job, spec scaleSpec) (ScalePoint, error) {
+	n := spec.sites
+	pt := ScalePoint{Sites: n, Mode: spec.mode, Shards: 1, PageSize: -1, Churn: spec.churn}
 	bcfg := broker.Config{Seed: cfg.Seed, PageSize: -1}
 	shards := 1
-	if paged {
-		pt.Mode, pt.Shards, pt.PageSize, pt.TopK = "paged", cfg.Shards, cfg.PageSize, cfg.TopK
+	delta := false
+	switch spec.mode {
+	case "paged":
+		pt.Shards, pt.PageSize, pt.TopK = cfg.Shards, cfg.PageSize, cfg.TopK
 		bcfg.PageSize, bcfg.TopK = cfg.PageSize, cfg.TopK
 		shards = cfg.Shards
+	case "delta", "repin":
+		pt.Shards, pt.PageSize, pt.TopK = cfg.Shards, cfg.PageSize, cfg.TopK
+		bcfg.PageSize, bcfg.TopK, bcfg.Incremental = cfg.PageSize, cfg.TopK, true
+		shards = cfg.Shards
+		delta = true
+		if spec.mode == "delta" {
+			pt.DeltaDepth = cfg.DeltaLogDepth
+		}
 	}
 
 	sim := simclock.NewSim(time.Time{})
 	bcfg.Sim = sim
-	bcfg.Info = infosys.NewSharded(sim, 500*time.Millisecond, shards)
+	info := infosys.NewSharded(sim, 500*time.Millisecond, shards)
+	if delta {
+		// Each shard publishes over its own wide-area link; the repin
+		// cells disable the log so every epoch-advancing poll pays a
+		// full shard re-pin instead of a delta replay.
+		info.SetDeltaLog(pt.DeltaDepth)
+		info.SetShardLink(netsim.WideArea())
+	}
+	bcfg.Info = info
 	b := broker.New(bcfg)
 	for i := 0; i < n; i++ {
 		b.RegisterSite(site.New(sim, site.Config{
@@ -156,14 +261,33 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 			Nodes:   4,
 			Network: netsim.WideArea(),
 			Costs:   site.DefaultCosts(),
-			// Keep republish events out of the measured passes.
+			// Keep republish events out of the measured passes; churn
+			// is applied explicitly between passes instead.
 			PublishInterval: 10000 * time.Hour,
 			Attrs:           map[string]any{"Arch": "x86_64", "OS": "linux", "MemoryMB": 512 + i%1024},
 		}))
 	}
 	sim.RunFor(time.Minute) // let the initial publishes land
 
+	// applyChurn republishes spec.churn records with moved MemoryMB
+	// ranks — the between-pass update stream the delta path repairs
+	// standing trees from (and the repin path re-pins over).
+	churned := 0
+	applyChurn := func() {
+		for j := 0; j < spec.churn; j++ {
+			i := churned % n
+			churned++
+			_ = info.Publish(infosys.SiteRecord{
+				Name:      fmt.Sprintf("site%04d", i),
+				TotalCPUs: 4,
+				FreeCPUs:  4,
+				Attrs:     map[string]any{"Arch": "x86_64", "OS": "linux", "MemoryMB": 512 + (i+churned)%1024},
+			})
+		}
+	}
+
 	runPass := func() (broker.PassStats, error) {
+		applyChurn()
 		var st broker.PassStats
 		done := sim.NewTrigger()
 		sim.Go(func() { st = b.SelectionPassStats(job); done.Fire() })
@@ -175,7 +299,8 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 	}
 
 	// Warm up: compile the job's predicates, build the shard
-	// snapshots, fill the attribute-vector pool.
+	// snapshots, fill the attribute-vector pool — and, on the
+	// incremental path, absorb the initial catch-up re-pin.
 	for i := 0; i < 2; i++ {
 		if _, err := runPass(); err != nil {
 			return pt, err
@@ -221,22 +346,28 @@ func scaleCell(cfg ScaleConfig, job *jdl.Job, n int, paged bool) (ScalePoint, er
 	pt.PeakCandidates = stats.Peak
 	pt.Scanned = stats.Scanned
 	pt.Candidates = stats.Candidates
+	pt.DeltasPerPass = stats.Deltas
+	pt.RepinsPerPass = stats.Repins
 	return pt, nil
 }
 
 // RenderScale formats the sweep like the paper's tables: one row per
-// (sites, mode) cell, paged and snapshot side by side.
+// cell, the modes side by side.
 func RenderScale(points []ScalePoint) string {
-	t := metrics.NewTable("Sites", "Mode", "Pass (virtual)", "Peak cands", "Allocs/pass", "KB/pass", "Scanned")
+	t := metrics.NewTable("Sites", "Mode", "Churn", "Pass (virtual)", "Discovery", "Peak cands", "Allocs/pass", "KB/pass", "Scanned", "Δ/pass", "Repins")
 	for _, p := range points {
 		t.AddRow(
 			fmt.Sprintf("%d", p.Sites),
 			p.Mode,
+			fmt.Sprintf("%d", p.Churn),
 			(time.Duration(p.PassMicros) * time.Microsecond).String(),
+			(time.Duration(p.DiscoveryMicros) * time.Microsecond).String(),
 			fmt.Sprintf("%d", p.PeakCandidates),
 			fmt.Sprintf("%d", p.AllocsPerPass),
 			fmt.Sprintf("%d", p.BytesPerPass/1024),
 			fmt.Sprintf("%d", p.Scanned),
+			fmt.Sprintf("%d", p.DeltasPerPass),
+			fmt.Sprintf("%d", p.RepinsPerPass),
 		)
 	}
 	return t.String()

@@ -43,7 +43,9 @@ import (
 	"sync"
 	"time"
 
+	"crossbroker/internal/netsim"
 	"crossbroker/internal/simclock"
+	"crossbroker/internal/trace"
 )
 
 // SiteRecord describes one grid site as published to the information
@@ -449,6 +451,14 @@ type Service struct {
 	partitioned  bool
 	frozenShards []*Snapshot
 	frozenMerged *Snapshot
+
+	// Delta subscription state (delta.go): per-shard log depth, the
+	// modeled per-shard link, and the tracer DeltaPublished events go
+	// to. tracer is set once at setup and read without s.mu.
+	deltaDepth int
+	link       netsim.Profile
+	hasLink    bool
+	tracer     *trace.Tracer
 }
 
 // shard is one hash partition of the registry. Lock ordering: shard.mu
@@ -460,6 +470,7 @@ type shard struct {
 	records map[string]SiteRecord
 	epoch   uint64
 	snap    *Snapshot // valid while snap.epoch == epoch and the schema matches
+	log     *deltaLog // bounded mutation history; nil while disabled
 }
 
 // New creates an information service on clock whose queries cost
@@ -490,14 +501,19 @@ func NewSharded(clock simclock.Clock, queryLatency time.Duration, shards int) *S
 // ShardCount reports how many hash shards the registry is split into.
 func (s *Service) ShardCount() int { return len(s.shards) }
 
-// shardFor hashes a site name onto its shard.
-func (s *Service) shardFor(name string) *shard {
+// shardIndexFor hashes a site name onto its shard index.
+func (s *Service) shardIndexFor(name string) int {
 	if len(s.shards) == 1 {
-		return s.shards[0]
+		return 0
 	}
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(name))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// shardFor hashes a site name onto its shard.
+func (s *Service) shardFor(name string) *shard {
+	return s.shards[s.shardIndexFor(name)]
 }
 
 // QueryLatency returns the configured per-query round-trip cost.
@@ -513,38 +529,58 @@ func (s *Service) Publish(rec SiteRecord) error {
 	}
 	rec = rec.Clone()
 	rec.UpdatedAt = s.clock.Now()
-	sh := s.shardFor(rec.Name)
+	si := s.shardIndexFor(rec.Name)
+	sh := s.shards[si]
 	sh.mu.Lock()
 	old, replaced := sh.records[rec.Name]
 	sh.records[rec.Name] = rec
 	sh.epoch++
+	dk := DeltaAdded
+	if replaced {
+		dk = DeltaUpdated
+	}
 	s.mu.Lock()
 	s.epoch++
+	globalEpoch := s.epoch
 	if replaced {
 		s.dropAttrsLocked(old)
 	} else {
 		s.count++
 	}
 	s.addAttrsLocked(rec)
+	emit := s.logDeltaLocked(sh, dk, rec)
 	s.mu.Unlock()
 	sh.mu.Unlock()
+	if emit {
+		s.tracer.Emit(trace.Event{Kind: trace.DeltaPublished,
+			Site: rec.Name, N: si, Epoch: globalEpoch, Detail: dk.String()})
+	}
 	return nil
 }
 
 // Remove deletes a site record (site decommissioned or expired).
 func (s *Service) Remove(name string) {
-	sh := s.shardFor(name)
+	si := s.shardIndexFor(name)
+	sh := s.shards[si]
 	sh.mu.Lock()
+	emit := false
+	var globalEpoch uint64
 	if old, ok := sh.records[name]; ok {
 		delete(sh.records, name)
 		sh.epoch++
 		s.mu.Lock()
 		s.epoch++
+		globalEpoch = s.epoch
 		s.count--
 		s.dropAttrsLocked(old)
+		emit = s.logDeltaLocked(sh, DeltaRemoved, SiteRecord{Name: name})
 		s.mu.Unlock()
 	}
 	sh.mu.Unlock()
+	if emit {
+		s.tracer.Emit(trace.Event{Kind: trace.DeltaPublished,
+			Site: name, N: si, Epoch: globalEpoch, Detail: DeltaRemoved.String()})
+	}
 }
 
 // addAttrsLocked credits a record's static attributes to the shared

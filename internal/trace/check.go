@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"time"
 )
 
 // Violation is one invariant breach found by Check.
@@ -60,9 +61,20 @@ type attemptKey struct {
 //     breach. OffloadOrphaned resolves an outstanding transfer (it is
 //     also legal after acceptance: the origin reclaiming from a dead
 //     peer).
+//  7. Delta freshness — a Matched event carrying an Epoch (the
+//     incremental matchmaking path) was decided at poll time
+//     T - Dur. If an infosys partition healed at or before that poll
+//     (heal time = FaultInjected.T + Dur for "infosys-partition
+//     injected" events), the deciding poll must have caught up to every
+//     delta published up to the heal: Matched.Epoch must be at least
+//     the largest DeltaPublished.Epoch with timestamp ≤ heal time. A
+//     smaller epoch means a job was matched against a registry state
+//     staler than the healed partition allows.
 //
 // Invariants 1, 5 and 6 are meaningful across brokers: run Check over
 // MergeByTime of every broker's log to verify a federation grid-wide.
+// Invariant 7 assumes a single information service per log (global
+// epochs from different services are not comparable).
 func Check(events []Event) []Violation {
 	var out []Violation
 	violate := func(seq uint64, job, format string, args ...any) {
@@ -186,6 +198,58 @@ func Check(events []Event) []Violation {
 	for _, k := range dangling {
 		out = append(out, Violation{Seq: endSeq, Job: k.job,
 			Msg: fmt.Sprintf("%d dangling lease(s) on %s at end of trace", held[k], k.site)})
+	}
+	out = append(out, checkDeltaFreshness(events)...)
+	return out
+}
+
+// checkDeltaFreshness implements invariant 7. Both scans exploit that
+// events are emitted in nondecreasing virtual time and that the global
+// registry epoch is monotone, so the collected (time, epoch) pairs are
+// sorted by construction and each Matched event needs two binary
+// searches.
+func checkDeltaFreshness(events []Event) []Violation {
+	type pub struct {
+		t     time.Duration
+		epoch uint64
+	}
+	var pubs []pub
+	var heals []time.Duration
+	for _, e := range events {
+		switch e.Kind {
+		case DeltaPublished:
+			pubs = append(pubs, pub{e.T, e.Epoch})
+		case FaultInjected:
+			if e.Detail == "infosys-partition injected" && e.Dur > 0 {
+				heals = append(heals, e.T+e.Dur)
+			}
+		}
+	}
+	if len(pubs) == 0 || len(heals) == 0 {
+		return nil
+	}
+	sort.Slice(heals, func(i, j int) bool { return heals[i] < heals[j] })
+	var out []Violation
+	for _, e := range events {
+		if e.Kind != Matched || e.Epoch == 0 {
+			continue
+		}
+		pollT := e.T - e.Dur
+		// Latest partition heal at or before the deciding poll.
+		h := sort.Search(len(heals), func(i int) bool { return heals[i] > pollT }) - 1
+		if h < 0 {
+			continue
+		}
+		// Largest epoch published up to that heal.
+		p := sort.Search(len(pubs), func(i int) bool { return pubs[i].t > heals[h] }) - 1
+		if p < 0 {
+			continue
+		}
+		if e.Epoch < pubs[p].epoch {
+			out = append(out, Violation{Seq: e.Seq, Job: e.Job, Msg: fmt.Sprintf(
+				"matched at epoch %d, staler than epoch %d published before the partition healed at %v",
+				e.Epoch, pubs[p].epoch, heals[h])})
+		}
 	}
 	return out
 }

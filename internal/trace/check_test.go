@@ -170,3 +170,72 @@ func TestCheckComplete(t *testing.T) {
 		t.Fatalf("got %v, want one no-terminal violation for j2", vs)
 	}
 }
+
+// freshEvents builds an invariant-7 scenario: a partition injected at
+// 10m healing at 15m, an epoch-7 delta published behind it at 12m and
+// an epoch-9 delta published after the heal at 16m.
+func freshEvents(matched Event) []Event {
+	events := []Event{
+		{Kind: FaultInjected, T: 10 * time.Minute, Dur: 5 * time.Minute, Detail: "infosys-partition injected"},
+		{Kind: DeltaPublished, T: 12 * time.Minute, Site: "s0", Epoch: 7, Detail: "updated"},
+		{Kind: DeltaPublished, T: 16 * time.Minute, Site: "s0", Epoch: 9, Detail: "updated"},
+		matched,
+	}
+	for i := range events {
+		events[i].Seq = uint64(i)
+		events[i].Name = events[i].Kind.String()
+	}
+	return events
+}
+
+func TestCheckDeltaFreshnessViolation(t *testing.T) {
+	// Polled at 19:59 — well after the heal — yet matched at epoch 5,
+	// older than the epoch-7 delta published behind the partition.
+	vs := checkDeltaFreshness(freshEvents(
+		Event{Kind: Matched, T: 20 * time.Minute, Dur: time.Second, Job: "j1", Site: "s0", Epoch: 5}))
+	if len(vs) != 1 || !strings.Contains(vs[0].Msg, "staler than epoch 7") {
+		t.Fatalf("got %v, want one staleness violation against epoch 7", vs)
+	}
+}
+
+func TestCheckDeltaFreshnessCaughtUp(t *testing.T) {
+	// Epoch 7 is exactly the newest delta the heal obligates; epoch 9
+	// landed after the heal and is not required.
+	if vs := checkDeltaFreshness(freshEvents(
+		Event{Kind: Matched, T: 20 * time.Minute, Dur: time.Second, Job: "j1", Site: "s0", Epoch: 7})); len(vs) != 0 {
+		t.Fatalf("caught-up match flagged: %v", vs)
+	}
+}
+
+func TestCheckDeltaFreshnessPollBeforeHeal(t *testing.T) {
+	// The deciding poll ran at 14m, before the partition healed: the
+	// subscriber was legitimately held at its cut point.
+	if vs := checkDeltaFreshness(freshEvents(
+		Event{Kind: Matched, T: 14 * time.Minute, Job: "j1", Site: "s0", Epoch: 2})); len(vs) != 0 {
+		t.Fatalf("pre-heal match flagged: %v", vs)
+	}
+}
+
+func TestCheckDeltaFreshnessNoEpochExempt(t *testing.T) {
+	// Snapshot-path Matched events carry no epoch and are exempt.
+	if vs := checkDeltaFreshness(freshEvents(
+		Event{Kind: Matched, T: 20 * time.Minute, Job: "j1", Site: "s0"})); len(vs) != 0 {
+		t.Fatalf("epoch-less match flagged: %v", vs)
+	}
+}
+
+func TestCheckRunsDeltaFreshness(t *testing.T) {
+	// The staleness check is part of Check itself, not a separate entry
+	// point — a full-log run must surface it.
+	events := freshEvents(
+		Event{Kind: Matched, T: 20 * time.Minute, Dur: time.Second, Job: "j1", Site: "s0", Epoch: 5})
+	found := false
+	for _, v := range Check(events) {
+		if strings.Contains(v.Msg, "staler than epoch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Check did not run the delta-freshness invariant")
+	}
+}

@@ -97,6 +97,17 @@ const (
 	// FaultInjected marks the fault layer applying (or skipping) an
 	// event; Detail carries the fault kind and status.
 	FaultInjected
+	// DeltaPublished marks the information service appending one record
+	// delta to a shard's log: Site is the published site, N the shard
+	// index, Epoch the global registry epoch after the mutation and
+	// Detail the delta kind (added/updated/removed). Emitted only when
+	// delta logs are enabled and a tracer is wired to the service.
+	DeltaPublished
+	// SubscriptionGap marks a delta subscriber finding a shard's log
+	// compacted past its position and falling back to a snapshot
+	// re-pin: N is the shard index, Epoch the shard epoch the re-pinned
+	// snapshot carries.
+	SubscriptionGap
 )
 
 // Federation events (Job set; Site carries the sending broker and
@@ -143,6 +154,8 @@ var kindNames = map[Kind]string{
 	SiteRestarted:   "site-restarted",
 	AgentDied:       "agent-died",
 	FaultInjected:   "fault-injected",
+	DeltaPublished:  "delta-published",
+	SubscriptionGap: "subscription-gap",
 	OffloadSent:     "offload-sent",
 	OffloadAccepted: "offload-accepted",
 	OffloadOrphaned: "offload-orphaned",
@@ -199,8 +212,15 @@ type Event struct {
 	N int `json:"n,omitempty"`
 	// Rank is the matchmaking rank of a Matched event.
 	Rank float64 `json:"rank,omitempty"`
-	// Dur is an event-specific window (fault duration).
+	// Dur is an event-specific window (fault duration; on a Matched
+	// event from the incremental path, time since the delta poll the
+	// match was decided against).
 	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Epoch is the registry epoch the event refers to: on
+	// DeltaPublished the global epoch after the mutation, on
+	// SubscriptionGap the re-pinned shard epoch, on Matched (incremental
+	// path only) the global epoch the deciding poll had caught up to.
+	Epoch uint64 `json:"epoch,omitempty"`
 	// Detail is free-form context (failure reason, fault kind).
 	Detail string `json:"detail,omitempty"`
 }
