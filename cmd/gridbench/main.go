@@ -9,6 +9,7 @@
 //	gridbench -exp bench                # matchmaking benchmarks -> JSON
 //	gridbench -exp scale                # infosys scaling sweep -> JSON
 //	gridbench -exp federation           # federated-broker chaos sweep -> JSON
+//	gridbench -exp dataaware            # data-aware vs data-blind placement -> JSON
 //	gridbench -exp replay -trace f.swf  # replay a recorded workload -> JSON
 //	gridbench -exp all
 //
@@ -40,7 +41,7 @@ func main() {
 // realMain carries the exit code back so deferred profile writers run
 // before the process exits (os.Exit skips defers).
 func realMain() int {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, scale, chaos, federation, replay, checktrace, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig7, fig8, load, day, ablations, bench, scale, chaos, federation, dataaware, replay, checktrace, all")
 	rounds := flag.Int("rounds", 1000, "ping-pong sequences per cell (figs 6/7)")
 	runs := flag.Int("runs", 100, "submissions per method (table 1)")
 	iters := flag.Int("iters", 1000, "loop iterations (fig 8)")
@@ -51,7 +52,9 @@ func realMain() int {
 	chaosOut := flag.String("chaosout", "BENCH_chaos.json", "output path for -exp chaos")
 	fedOut := flag.String("fedout", "BENCH_federation.json", "output path for -exp federation")
 	fedBaseline := flag.String("fedbaseline", "", "committed BENCH_federation.json to compare -exp federation goodput against")
-	quick := flag.Bool("quick", false, "shrink -exp chaos, federation and scale for smoke runs")
+	dataOut := flag.String("dataout", "BENCH_dataaware.json", "output path for -exp dataaware")
+	dataBaseline := flag.String("databaseline", "", "committed BENCH_dataaware.json to compare -exp dataaware speedups against")
+	quick := flag.Bool("quick", false, "shrink -exp chaos, federation, dataaware and scale for smoke runs")
 	traceOut := flag.String("traceout", "", "enable event tracing in -exp chaos/federation and write the logs as JSONL here")
 	traceIn := flag.String("tracein", "", "JSONL event log to verify with -exp checktrace")
 	chromeOut := flag.String("chromeout", "", "also convert -tracein to Chrome trace_event JSON at this path")
@@ -141,6 +144,9 @@ func realMain() int {
 	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *deltaChaos, *seed) })
 	run("federation", func() error {
 		return federation(*fedOut, *fedBaseline, *traceOut, *quick, *seed, *tolerance)
+	})
+	run("dataaware", func() error {
+		return dataaware(*dataOut, *dataBaseline, *quick, *seed, *tolerance)
 	})
 	// replay needs a workload log and checktrace an existing event
 	// log, so both run only when named explicitly (there is nothing to

@@ -105,7 +105,7 @@ type Request struct {
 
 // Handle tracks a submitted job.
 type Handle struct {
-	q    *Queue
+	sim  *simclock.Sim
 	req  Request
 	st   State
 	exec *ExecCtx
@@ -132,7 +132,7 @@ func (h *Handle) Owner() string { return h.req.Owner }
 // still pending it is the wait so far.
 func (h *Handle) QueueWait() time.Duration {
 	if h.st == Pending {
-		return h.q.sim.Since(h.submitAt)
+		return h.sim.Since(h.submitAt)
 	}
 	return h.startAt.Sub(h.submitAt)
 }
@@ -222,7 +222,7 @@ func (q *Queue) Submit(r Request) (*Handle, error) {
 		return nil, fmt.Errorf("%w: %q", ErrDuplicateID, r.ID)
 	}
 	h := &Handle{
-		q:        q,
+		sim:      q.sim,
 		req:      r,
 		st:       Pending,
 		Done:     q.sim.NewTrigger(),
@@ -404,6 +404,15 @@ func (q *Queue) Lookup(id string) (*Handle, bool) {
 
 // FreeNodeCount reports nodes with no holder.
 func (q *Queue) FreeNodeCount() int { return q.nfree }
+
+// TotalCPUs reports the queue's capacity. For the fixed batch pool it
+// equals the provisioned node count.
+func (q *Queue) TotalCPUs() int { return len(q.nodes) }
+
+// Backend describes the batch queue's shape: an always-provisioned
+// space-shared pool with no node startup cost beyond the scheduling
+// cycle.
+func (q *Queue) Backend() BackendInfo { return BackendInfo{Kind: BackendBatch} }
 
 // QueueLength reports the number of pending jobs.
 func (q *Queue) QueueLength() int { return len(q.pending) }

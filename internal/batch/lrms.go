@@ -1,0 +1,75 @@
+package batch
+
+import "time"
+
+// Backend kinds advertised by LRMS adapters.
+const (
+	// BackendBatch is the classic always-provisioned space-shared
+	// queue (Queue).
+	BackendBatch = "batch"
+	// BackendElastic is the cloud-style pool that cold-starts nodes on
+	// demand (Pool).
+	BackendElastic = "elastic"
+)
+
+// BackendInfo describes the shape of an LRMS backend, published as
+// site attributes so matchmaking (and the interactive classifier) can
+// reason about it.
+type BackendInfo struct {
+	// Kind is the adapter family (BackendBatch, BackendElastic).
+	Kind string
+	// Startup is the advertised worst-case delay between the LRM
+	// accepting a job and a node being able to run it, beyond queueing:
+	// zero for always-provisioned pools, the cold-start bound for
+	// elastic ones.
+	Startup time.Duration
+}
+
+// LRMS is the pluggable local-resource-manager adapter every site
+// plugs in: the surface the gatekeeper needs to accept two-phase
+// submissions, publish load, and model failure. Queue (the classic
+// batch simulator) and Pool (the elastic cloud-style backend) both
+// implement it; sites pick one via their config.
+//
+// Semantics every adapter must keep:
+//   - Submit is phase 1 of the 2PC: the job is held (Pending) until it
+//     runs; Kill before start must drop it without side effects.
+//   - CrashAll kills pending then running jobs in submission order so
+//     trace emission stays deterministic.
+//   - Stall suspends scheduling but keeps accepting submissions.
+//   - FreeNodeCount reports immediately *placeable* capacity (for an
+//     elastic pool that includes unprovisioned headroom behind a cold
+//     start), TotalCPUs the capacity bound used for fair-share totals.
+type LRMS interface {
+	// Name returns the adapter's (site's) name.
+	Name() string
+	// Submit enqueues a job (2PC phase 1).
+	Submit(r Request) (*Handle, error)
+	// Kill removes a pending job or signals a running one to stop.
+	Kill(id string) error
+	// Lookup returns the handle for a job id.
+	Lookup(id string) (*Handle, bool)
+	// Nodes returns the currently provisioned worker nodes.
+	Nodes() []*Node
+	// TotalCPUs reports the capacity bound (provisioned or not).
+	TotalCPUs() int
+	// FreeNodeCount reports placeable capacity right now.
+	FreeNodeCount() int
+	// QueueLength reports pending jobs.
+	QueueLength() int
+	// RunningCount reports running jobs.
+	RunningCount() int
+	// CrashAll kills every job deterministically (site death).
+	CrashAll()
+	// Stall suspends scheduling passes for d (hung LRM daemon).
+	Stall(d time.Duration)
+	// Stalled reports whether a stall window is open.
+	Stalled() bool
+	// Backend describes the adapter's shape for publication.
+	Backend() BackendInfo
+}
+
+var (
+	_ LRMS = (*Queue)(nil)
+	_ LRMS = (*Pool)(nil)
+)

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"time"
 
+	"crossbroker/internal/datacat"
 	"crossbroker/internal/fairshare"
 	"crossbroker/internal/glidein"
 	"crossbroker/internal/infosys"
@@ -205,6 +206,19 @@ type Config struct {
 	// instead of grid size. TopK and the probe/rank pipeline behave
 	// exactly as on the streamed path.
 	Incremental bool
+	// Data is the grid's replica catalog. When set, jobs with
+	// InputData pay their real staging transfers before submission
+	// whether or not the broker plans around them.
+	Data *datacat.Catalog
+	// DataAware folds the estimated staging time of a job's InputData
+	// into matchmaking: rank becomes compute rank minus staging
+	// seconds, and sites that cannot obtain a dataset at all are
+	// excluded like a failing Requirements clause. Off — the default —
+	// the broker is data-blind and ranks exactly as before, even with
+	// a catalog configured (the ablation the dataaware experiment
+	// measures). With no catalog, or for jobs without InputData, both
+	// settings are byte-identical to the pre-data rank paths.
+	DataAware bool
 	// Trace records per-job lifecycle events (internal/trace). Nil —
 	// the default — disables tracing; instrumented paths then pay one
 	// nil check per potential event.
@@ -506,7 +520,7 @@ func (b *Broker) RegisterSite(st *site.Site) {
 	if b.cfg.Fair != nil {
 		total := 0
 		for _, s := range b.sites {
-			total += len(s.Queue().Nodes())
+			total += s.Queue().TotalCPUs()
 		}
 		b.cfg.Fair.SetTotal(total)
 	}
@@ -527,7 +541,7 @@ func (b *Broker) UnregisterSite(name string) {
 	if b.cfg.Fair != nil {
 		total := 0
 		for _, s := range b.sites {
-			total += len(s.Queue().Nodes())
+			total += s.Queue().TotalCPUs()
 		}
 		b.cfg.Fair.SetTotal(total)
 	}

@@ -84,6 +84,11 @@ type subscriber struct {
 	polling     bool // a poll is mid-flight (waiting out link costs)
 	pollWaiters []*simclock.Trigger
 
+	// dataVer is the catalog version the standing trees were built
+	// against; a mutation invalidates every prelim (replica moves
+	// change penalties grid-wide), so the trees rebuild wholesale.
+	dataVer uint64
+
 	updScratch []infosys.SubUpdate
 	group      []probeTask // boundary tie-group scratch
 }
@@ -274,6 +279,14 @@ func (js *jobState) update(s *subscriber, ent *mirrorEntry) {
 	}
 	name := ent.rec.Name
 	old := js.nodes[name]
+	pen := 0.0
+	if pass {
+		// An unobtainable dataset excludes the site like a failing
+		// Requirements clause, on every path.
+		var pok bool
+		pen, pok = s.b.dataPenalty(js.job, name)
+		pass = pok
+	}
 	if !pass {
 		if old != nil {
 			js.removeNode(old)
@@ -290,6 +303,7 @@ func (js *jobState) update(s *subscriber, ent *mirrorEntry) {
 	} else {
 		prelim = float64(ent.rec.FreeCPUs)
 	}
+	prelim -= pen
 	if old != nil {
 		if old.prelim == prelim {
 			old.rankErr, old.ent = rankErr, ent
@@ -437,6 +451,18 @@ func (b *Broker) matchIncremental(h *Handle, excluded map[string]bool) []candida
 	s.poll(h)
 	h.matchEpoch = s.applied
 	h.Phases.Discovery = b.sim.Since(dstart)
+
+	// Catalog mutations (replica adds/drops) shift staging penalties
+	// for every standing tree at once; rebuild against the new version
+	// before extraction. Pure computation, order-independent.
+	if c := b.cfg.Data; c != nil && b.cfg.DataAware {
+		if v := c.Version(); v != s.dataVer {
+			s.dataVer = v
+			for _, js := range s.jobs {
+				js.rebuild(s)
+			}
+		}
+	}
 
 	sstart := b.sim.Now()
 	nonce := b.rng.Uint64()

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"crossbroker/internal/datacat"
 	"crossbroker/internal/infosys"
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/netsim"
@@ -104,15 +105,23 @@ func TestIncrementalEquivalentToSnapshotPass(t *testing.T) {
 	for _, tc := range []struct {
 		name                string
 		shards, topk, depth int
+		data                bool // data-aware with an empty catalog: must be a no-op
 	}{
-		{"shards=8/topk=0/depth=64", 8, 0, 64},
-		{"shards=8/topk=all/depth=64", 8, 64, 64},
-		{"shards=1/topk=0/depth=1", 1, 0, 1},
-		{"shards=8/topk=all/depth=0", 8, 64, 0}, // re-pin every poll
-		{"shards=64/topk=all/depth=2", 64, 64, 2},
+		{"shards=8/topk=0/depth=64", 8, 0, 64, false},
+		{"shards=8/topk=all/depth=64", 8, 64, 64, false},
+		{"shards=1/topk=0/depth=1", 1, 0, 1, false},
+		{"shards=8/topk=all/depth=0", 8, 64, 0, false}, // re-pin every poll
+		{"shards=64/topk=all/depth=2", 64, 64, 2, false},
+		{"dataaware/empty-catalog/depth=64", 8, 0, 64, true},
+		{"dataaware/empty-catalog/topk=all/depth=0", 8, 64, 0, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			sim, b, info := deltaGrid(Config{Seed: seed, TopK: tc.topk, Incremental: true}, tc.shards, tc.depth)
+			cfg := Config{Seed: seed, TopK: tc.topk, Incremental: true}
+			if tc.data {
+				cfg.Data = datacat.New(datacat.NewLinks(netsim.CampusGrid()))
+				cfg.DataAware = true
+			}
+			sim, b, info := deltaGrid(cfg, tc.shards, tc.depth)
 			for r := 0; r < rounds; r++ {
 				cands := runMatchPass(t, sim, b, job)
 				if len(cands) != len(reference[r]) {

@@ -221,6 +221,10 @@ func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 					continue
 				}
 			}
+			pen, pok := b.dataPenalty(job, name)
+			if !pok {
+				continue // some input dataset is unobtainable here
+			}
 			p := probeTask{st: st, snap: snap, idx: page.Index(i)}
 			if !b.cfg.Deterministic {
 				p.noise = selectionNoise(nonce, name)
@@ -233,9 +237,9 @@ func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 					if err != nil {
 						continue
 					}
-					p.prelim = r
+					p.prelim = r - pen
 				} else {
-					p.prelim = float64(page.RecordShared(i).FreeCPUs)
+					p.prelim = float64(page.RecordShared(i).FreeCPUs) - pen
 				}
 				if len(keep) == topk {
 					if probeBetter(&p, &keep[0]) {
@@ -299,6 +303,9 @@ func (b *Broker) selection(h *Handle, snap *infosys.Snapshot, excluded map[strin
 				continue
 			}
 		}
+		if _, pok := b.dataPenalty(job, name); !pok {
+			continue // some input dataset is unobtainable here
+		}
 		p := probeTask{st: st, snap: snap, idx: i}
 		if !b.cfg.Deterministic {
 			p.noise = selectionNoise(nonce, name)
@@ -338,6 +345,10 @@ func (b *Broker) finishSelection(h *Handle, kept []probeTask) []candidate {
 			continue
 		}
 		c := candidate{site: p.st, free: p.free, queued: p.queued, noise: p.noise}
+		// The staging penalty is recomputed here (not carried from the
+		// pass) so every path derives the final rank from the same
+		// inputs; unobtainable sites were already excluded pre-probe.
+		pen, _ := b.dataPenalty(job, p.st.Name())
 		_, rank := job.CompiledPredicates(p.matchSchema())
 		if rank != nil {
 			m := p.matchAttrs()
@@ -348,9 +359,9 @@ func (b *Broker) finishSelection(h *Handle, kept []probeTask) []candidate {
 			if err != nil {
 				continue
 			}
-			c.rank = r
+			c.rank = r - pen
 		} else {
-			c.rank = float64(p.free)
+			c.rank = float64(p.free) - pen
 		}
 		cands = append(cands, c)
 	}

@@ -157,6 +157,8 @@ func (b *Broker) runBatch(h *Handle) {
 	h.site = st.Name()
 	subStart := b.sim.Now()
 	h.FirstOutput.OnFire(func() { h.Phases.Submission = b.sim.Since(subStart) })
+	// Input datasets move to the site while the lease holds it.
+	b.stageData(h, st.Name())
 
 	if job.NodeNumber > 1 {
 		// Parallel batch jobs go through the gatekeeper without an
@@ -361,6 +363,7 @@ func (b *Broker) runExclusiveAttempt(h *Handle, st *site.Site) bool {
 	b.lease(h, st.Name(), job.NodeNumber)
 	defer b.unlease(h, st.Name(), job.NodeNumber)
 	h.state = Submitted
+	b.stageData(h, st.Name())
 
 	bodyDone := b.sim.NewTrigger()
 	killed := b.sim.NewTrigger()
@@ -685,7 +688,8 @@ func (b *Broker) placeOnAgents(h *Handle, agents []*glidein.Agent) bool {
 	// The broker still stages input files to the VM, dispatches the
 	// job over its direct agent channel, and the agent sets it up on
 	// the interactive VM — but the gatekeeper, GRAM and the local
-	// queue are skipped entirely.
+	// queue are skipped entirely. Catalog datasets move first.
+	b.stageData(h, st.Name())
 	b.sim.Sleep(st.Costs().Stage + st.Network().RTT() + st.Costs().VMDispatch)
 
 	slots := make([]*vmslot.Slot, len(agents))

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"crossbroker/internal/datacat"
 	"crossbroker/internal/infosys"
 	"crossbroker/internal/jdl"
 	"crossbroker/internal/netsim"
@@ -101,15 +102,23 @@ func TestStreamEquivalentToSnapshotPass(t *testing.T) {
 	for _, tc := range []struct {
 		name             string
 		shards, pg, topk int
+		data             bool // data-aware with an empty catalog: must be a no-op
 	}{
-		{"pagesize=3/topk=0", 1, 3, 0},
-		{"pagesize=7/topk=all", 1, 7, 64},
-		{"shards=8/topk=0", 8, 4, 0},
-		{"shards=8/topk=all", 8, 5, 64},
-		{"shards=64/topk=all", 64, 1, 64},
+		{"pagesize=3/topk=0", 1, 3, 0, false},
+		{"pagesize=7/topk=all", 1, 7, 64, false},
+		{"shards=8/topk=0", 8, 4, 0, false},
+		{"shards=8/topk=all", 8, 5, 64, false},
+		{"shards=64/topk=all", 64, 1, 64, false},
+		{"dataaware/empty-catalog", 8, 4, 0, true},
+		{"dataaware/empty-catalog/topk=all", 8, 5, 64, true},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			sim, b := equivGrid(Config{Seed: seed, PageSize: tc.pg, TopK: tc.topk}, tc.shards)
+			cfg := Config{Seed: seed, PageSize: tc.pg, TopK: tc.topk}
+			if tc.data {
+				cfg.Data = datacat.New(datacat.NewLinks(netsim.CampusGrid()))
+				cfg.DataAware = true
+			}
+			sim, b := equivGrid(cfg, tc.shards)
 			got := runMatchPass(t, sim, b, job)
 			if len(got) != len(want) {
 				t.Fatalf("streamed pass kept %d candidates, reference kept %d", len(got), len(want))

@@ -1,0 +1,39 @@
+package datacat
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseManifest mirrors the SWF/GWF fuzz harness: tolerant parsing
+// must never panic, and its output must be a fixed point — formatting
+// the tolerant parse and strictly reparsing it yields the same
+// manifest byte for byte.
+func FuzzParseManifest(f *testing.F) {
+	f.Add(sampleManifest)
+	f.Add("")
+	f.Add("# comment only\n")
+	f.Add("d 1 a")
+	f.Add("d 1 a b c\nd 1 c d\n")
+	f.Add("d 0 a\nd -3 b\nd x y\n")
+	f.Add("dup 10 a\ndup 20 b\ndup 10 c\n")
+	f.Add("  spaced   42   s1    s2  \n\n\n")
+	f.Add("\x00weird 7 a\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseManifest(src, ManifestOptions{})
+		if err != nil {
+			t.Fatalf("tolerant parse returned error: %v", err)
+		}
+		out := FormatManifest(m)
+		back, err := ParseManifest(out, ManifestOptions{Strict: true})
+		if err != nil {
+			t.Fatalf("canonical output rejected by strict parse: %v\ninput: %q\noutput: %q", err, src, out)
+		}
+		if !reflect.DeepEqual(m, back) {
+			t.Fatalf("format/reparse not a fixed point\ninput: %q\nfirst: %+v\nsecond: %+v", src, m, back)
+		}
+		if FormatManifest(back) != out {
+			t.Fatalf("FormatManifest not idempotent for %q", src)
+		}
+	})
+}

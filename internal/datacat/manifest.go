@@ -1,0 +1,164 @@
+package datacat
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The catalog manifest is a line-oriented text format in the spirit of
+// the workload-archive logs:
+//
+//	# comment
+//	<dataset> <size-bytes> <site> [<site>...]
+//
+// Tolerant parsing (the default) repairs what real replica dumps get
+// wrong — duplicate dataset lines merge their replica sets, repeated
+// sites deduplicate, malformed or non-positive-size lines are skipped.
+// Strict mode turns every repair into an error, matching the
+// tolerant/strict split of the SWF/GWF parsers. Format serializes
+// canonically (datasets and sites sorted), and a tolerant parse
+// followed by Format is a fixed point under strict reparsing — the
+// invariant the fuzzer enforces.
+
+// Entry is one manifest line: a dataset and its replica locations.
+type Entry struct {
+	// Name is the dataset name.
+	Name string
+	// SizeBytes is the dataset size (> 0).
+	SizeBytes int64
+	// Sites holds the replica sites, sorted and deduplicated.
+	Sites []string
+}
+
+// Manifest is a parsed catalog manifest in canonical order.
+type Manifest struct {
+	// Entries are sorted by dataset name.
+	Entries []Entry
+}
+
+// ManifestOptions controls manifest parsing.
+type ManifestOptions struct {
+	// Strict rejects malformed lines, duplicate datasets, duplicate
+	// sites, conflicting sizes and non-positive sizes instead of
+	// repairing or skipping them.
+	Strict bool
+}
+
+// ManifestError reports a rejected manifest line in strict mode.
+type ManifestError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ManifestError) Error() string {
+	return fmt.Sprintf("datacat: manifest line %d: %s", e.Line, e.Msg)
+}
+
+func manifestErr(strict bool, line int, format string, args ...any) error {
+	if !strict {
+		return nil
+	}
+	return &ManifestError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ParseManifest parses src. In tolerant mode broken lines are dropped
+// and duplicates merged; in strict mode the first problem aborts.
+func ParseManifest(src string, opts ManifestOptions) (*Manifest, error) {
+	byName := make(map[string]*Entry)
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 3 {
+			if err := manifestErr(opts.Strict, line, "want <dataset> <size> <site>..., got %d fields", len(fields)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		name := fields[0]
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			if err := manifestErr(opts.Strict, line, "bad size %q", fields[1]); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if size <= 0 {
+			if err := manifestErr(opts.Strict, line, "non-positive size %d for %q", size, name); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		e := byName[name]
+		if e == nil {
+			e = &Entry{Name: name, SizeBytes: size}
+			byName[name] = e
+		} else {
+			if err := manifestErr(opts.Strict, line, "duplicate dataset %q", name); err != nil {
+				return nil, err
+			}
+			if e.SizeBytes != size {
+				// Tolerant merge keeps the first declared size.
+				continue
+			}
+		}
+		for _, s := range fields[2:] {
+			i := sort.SearchStrings(e.Sites, s)
+			if i < len(e.Sites) && e.Sites[i] == s {
+				if err := manifestErr(opts.Strict, line, "duplicate site %q for %q", s, name); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			e.Sites = append(e.Sites, "")
+			copy(e.Sites[i+1:], e.Sites[i:])
+			e.Sites[i] = s
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("datacat: manifest scan: %w", err)
+	}
+	m := &Manifest{Entries: make([]Entry, 0, len(byName))}
+	for _, e := range byName {
+		m.Entries = append(m.Entries, *e)
+	}
+	sort.Slice(m.Entries, func(i, j int) bool { return m.Entries[i].Name < m.Entries[j].Name })
+	return m, nil
+}
+
+// FormatManifest serializes m canonically: one line per dataset,
+// sorted by name, sites sorted. The output reparses identically in
+// strict mode.
+func FormatManifest(m *Manifest) string {
+	var b strings.Builder
+	for _, e := range m.Entries {
+		b.WriteString(e.Name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(e.SizeBytes, 10))
+		for _, s := range e.Sites {
+			b.WriteByte(' ')
+			b.WriteString(s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Load registers every manifest entry in the catalog.
+func (c *Catalog) Load(m *Manifest) error {
+	for _, e := range m.Entries {
+		if err := c.AddReplica(e.Name, e.SizeBytes, e.Sites...); err != nil {
+			return err
+		}
+	}
+	return nil
+}

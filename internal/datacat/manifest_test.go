@@ -1,0 +1,110 @@
+package datacat
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"crossbroker/internal/netsim"
+)
+
+const sampleManifest = `# dataset size-bytes replica-sites
+cal.db 1073741824 s00 s03
+events.raw 536870912 s01
+events.raw 536870912 s02 s01
+`
+
+func TestParseManifestTolerant(t *testing.T) {
+	m, err := ParseManifest(sampleManifest, ManifestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (duplicates merged)", len(m.Entries))
+	}
+	ev := m.Entries[1]
+	if ev.Name != "events.raw" || ev.SizeBytes != 536870912 {
+		t.Fatalf("entry = %+v", ev)
+	}
+	if !reflect.DeepEqual(ev.Sites, []string{"s01", "s02"}) {
+		t.Fatalf("merged sites = %v, want [s01 s02]", ev.Sites)
+	}
+}
+
+func TestParseManifestTolerantRepairs(t *testing.T) {
+	src := strings.Join([]string{
+		"good 100 a",
+		"short 200",         // too few fields: skipped
+		"bad notanumber b",  // unparsable size: skipped
+		"neg -5 c",          // non-positive size: skipped
+		"good 999 conflict", // size conflicts with first sighting: sites skipped
+		"good 100 d",        // same size: sites merged
+	}, "\n")
+	m, err := ParseManifest(src, ManifestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Entries) != 1 {
+		t.Fatalf("entries = %v, want just the repaired 'good'", m.Entries)
+	}
+	e := m.Entries[0]
+	if e.SizeBytes != 100 || !reflect.DeepEqual(e.Sites, []string{"a", "d"}) {
+		t.Fatalf("entry = %+v, want size 100 sites [a d]", e)
+	}
+}
+
+func TestParseManifestStrict(t *testing.T) {
+	for _, src := range []string{
+		"short 200",
+		"bad notanumber b",
+		"neg -5 c",
+		"dup 10 a\ndup 20 b",
+	} {
+		_, err := ParseManifest(src, ManifestOptions{Strict: true})
+		var me *ManifestError
+		if !errors.As(err, &me) {
+			t.Fatalf("strict parse of %q: err = %v, want *ManifestError", src, err)
+		}
+	}
+	// The canonical sample itself has a tolerated duplicate line, so
+	// strict mode rejects it — strict accepts only canonical output.
+	if _, err := ParseManifest(sampleManifest, ManifestOptions{Strict: true}); err == nil {
+		t.Fatal("strict parse accepted a duplicate-dataset manifest")
+	}
+}
+
+func TestFormatManifestRoundTrip(t *testing.T) {
+	m, err := ParseManifest(sampleManifest, ManifestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatManifest(m)
+	back, err := ParseManifest(out, ManifestOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("canonical output failed strict reparse: %v\n%s", err, out)
+	}
+	if !reflect.DeepEqual(m, back) {
+		t.Fatalf("round trip diverged:\n%+v\n%+v", m, back)
+	}
+}
+
+func TestCatalogLoad(t *testing.T) {
+	m, err := ParseManifest(sampleManifest, ManifestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(NewLinks(netsim.CampusGrid()))
+	if err := c.Load(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Datasets(); !reflect.DeepEqual(got, []string{"cal.db", "events.raw"}) {
+		t.Fatalf("datasets = %v", got)
+	}
+	if !c.HasLocal("s03", "cal.db") || c.HasLocal("s03", "events.raw") {
+		t.Fatal("replica placement wrong after Load")
+	}
+	if got, ok := c.Size("events.raw"); !ok || got != 536870912 {
+		t.Fatalf("size = %d, %v", got, ok)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"crossbroker/internal/batch"
 	"crossbroker/internal/broker"
 	"crossbroker/internal/faultinject"
 	"crossbroker/internal/infosys"
@@ -51,6 +52,9 @@ type ChaosPoint struct {
 	// Delta records that the cell matched through the
 	// delta-subscription incremental path.
 	Delta bool `json:"delta,omitempty"`
+	// Elastic records that half the cell's sites ran the elastic pool
+	// backend.
+	Elastic bool `json:"elastic,omitempty"`
 	// LeakedLeases is the broker's leased-CPU count after the grid
 	// drained — always zero when recovery is correct.
 	LeakedLeases int `json:"leaked_leases"`
@@ -97,6 +101,12 @@ type ChaosConfig struct {
 	// the partition→bounded-subscription→heal→catch-up path is
 	// exercised at every rate, including rate 0.
 	Delta bool
+	// Elastic swaps every odd-indexed site's batch queue for an
+	// elastic pool backend (cold starts, warm-pool reuse, scale-down
+	// reclaim), so the crash/stall/quarantine recovery machinery is
+	// exercised against provisioning latencies: a crash landing during
+	// a cold boot must still release its lease.
+	Elastic bool
 }
 
 func (c *ChaosConfig) setDefaults() {
@@ -141,7 +151,7 @@ func ChaosSweep(cfg ChaosConfig) ([]ChaosPoint, error) {
 }
 
 func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
-	p := ChaosPoint{CrashRate: rate, Delta: cfg.Delta}
+	p := ChaosPoint{CrashRate: rate, Delta: cfg.Delta, Elastic: cfg.Elastic}
 	sim := simclock.NewSim(time.Time{})
 	var tr *trace.Tracer
 	if cfg.Traced {
@@ -173,13 +183,23 @@ func chaosPoint(rate float64, idx int64, cfg ChaosConfig) (ChaosPoint, error) {
 	})
 	var sites []*site.Site
 	for i := 0; i < cfg.Sites; i++ {
-		st := site.New(sim, site.Config{
+		sc := site.Config{
 			Name:     fmt.Sprintf("s%02d", i),
 			Nodes:    cfg.NodesPerSite,
 			Network:  netsim.CampusGrid(),
 			Costs:    site.DefaultCosts(),
 			LRMCycle: 2 * time.Second,
-		})
+		}
+		if cfg.Elastic && i%2 == 1 {
+			sc.Elastic = &batch.ElasticConfig{
+				MaxNodes:        cfg.NodesPerSite,
+				ColdStart:       45 * time.Second,
+				ColdStartJitter: 15 * time.Second,
+				WarmWindow:      5 * time.Minute,
+				Seed:            cfg.Seed + idx + int64(i),
+			}
+		}
+		st := site.New(sim, sc)
 		b.RegisterSite(st)
 		sites = append(sites, st)
 	}

@@ -137,3 +137,44 @@ func TestChaosSweepRecovers(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+// TestChaosSweepElasticRecovers is the acceptance check for the
+// elastic LRMS adapter under fire: with half the sites running the
+// cloud-style pool backend, every job still reaches a terminal state,
+// the sweep stays deterministic, and — the 2PC/lease contract — zero
+// leases leak even when crashes land during cold boots and warm-pool
+// reclaims.
+func TestChaosSweepElasticRecovers(t *testing.T) {
+	cfg := ChaosConfig{Seed: 2006, Quick: true, Elastic: true, Delta: true}
+	pts, err := ChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if !p.Elastic {
+			t.Fatalf("point not marked elastic: %+v", p)
+		}
+		if p.Done+p.Aborted != p.Submitted {
+			t.Errorf("rate %.2g: %d done + %d aborted != %d submitted",
+				p.CrashRate, p.Done, p.Aborted, p.Submitted)
+		}
+		if p.LeakedLeases != 0 {
+			t.Errorf("rate %.2g: %d leases leaked through the elastic backend",
+				p.CrashRate, p.LeakedLeases)
+		}
+	}
+	if pts[1].Injected == 0 {
+		t.Error("chaotic elastic point injected no faults")
+	}
+	// Determinism must survive the extra elastic timers (boot,
+	// warm-window reclaim) because they all run on the seeded sim.
+	again, err := ChaosSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(pts)
+	bj, _ := json.Marshal(again)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("elastic sweep not deterministic:\n%s\nvs\n%s", aj, bj)
+	}
+}

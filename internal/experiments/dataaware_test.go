@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestDataAwareSweepBeatsBlind is the experiment's acceptance check:
+// on every replicated cell the data-aware broker's mean turnaround
+// strictly beats the data-blind broker's — both pay real staging at
+// submission, only one plans around it — and the aware run stages
+// less data and lands more jobs next to their replicas.
+func TestDataAwareSweepBeatsBlind(t *testing.T) {
+	pts, err := DataAwareSweep(DataAwareConfig{Seed: 2006, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4 (quick sweep: 2 replica counts x 2 link fabrics)", len(pts))
+	}
+	for _, p := range pts {
+		if p.AwareDone != p.Jobs || p.BlindDone != p.Jobs {
+			t.Errorf("replicas=%d asym=%v: lost jobs (aware %d, blind %d of %d)",
+				p.Replicas, p.AsymLinks, p.AwareDone, p.BlindDone, p.Jobs)
+		}
+		if p.AwareMeanTurnSec >= p.BlindMeanTurnSec {
+			t.Errorf("replicas=%d asym=%v: aware turnaround %.1fs not better than blind %.1fs",
+				p.Replicas, p.AsymLinks, p.AwareMeanTurnSec, p.BlindMeanTurnSec)
+		}
+		if p.AwareMeanStageSec > p.BlindMeanStageSec {
+			t.Errorf("replicas=%d asym=%v: aware staged more data (%.1fs) than blind (%.1fs)",
+				p.Replicas, p.AsymLinks, p.AwareMeanStageSec, p.BlindMeanStageSec)
+		}
+		if p.AwareLocalPct < p.BlindLocalPct {
+			t.Errorf("replicas=%d asym=%v: aware local placement %.0f%% below blind %.0f%%",
+				p.Replicas, p.AsymLinks, p.AwareLocalPct, p.BlindLocalPct)
+		}
+	}
+	if s := RenderDataAware(pts); s == "" {
+		t.Error("empty render")
+	}
+}
+
+// TestDataAwareSweepDeterministic: same seed, byte-identical report —
+// the property the CI two-run gate relies on.
+func TestDataAwareSweepDeterministic(t *testing.T) {
+	cfg := DataAwareConfig{Seed: 7, Quick: true}
+	a, err := DataAwareSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DataAwareSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed produced different sweeps:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// TestDataAwareQuickSubsetOfFull: quick cells are coordinate-seeded,
+// so each quick point equals the full sweep's point for the same
+// coordinates.
+func TestDataAwareQuickSubsetOfFull(t *testing.T) {
+	quick, err := DataAwareSweep(DataAwareConfig{Seed: 2006, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DataAwareSweep(DataAwareConfig{Seed: 2006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCoord := map[string]DataAwarePoint{}
+	for _, p := range full {
+		byCoord[RenderDataAware([]DataAwarePoint{p})] = p
+	}
+	for _, q := range quick {
+		if _, ok := byCoord[RenderDataAware([]DataAwarePoint{q})]; !ok {
+			t.Errorf("quick cell replicas=%d asym=%v not found verbatim in the full sweep",
+				q.Replicas, q.AsymLinks)
+		}
+	}
+}

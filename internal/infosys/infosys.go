@@ -98,6 +98,14 @@ const (
 	AttrQueuedJobs = "QueuedJobs"
 )
 
+// Backend-shape attribute names sites publish among their static
+// attributes (see batch.BackendInfo): the adapter kind and its
+// advertised worst-case node startup cost in seconds.
+const (
+	AttrBackend    = "Backend"
+	AttrStartupSec = "StartupSec"
+)
+
 // Schema maps attribute names to offsets in the flat value slices of
 // one snapshot generation. A schema is immutable once built; snapshot
 // rebuilds reuse the previous schema pointer whenever the attribute

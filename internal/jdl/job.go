@@ -104,6 +104,12 @@ type Job struct {
 	// InputFiles lists files staged to the execution machine before
 	// start.
 	InputFiles []string
+	// InputData names the catalog datasets the job reads. Unlike
+	// InputFiles (small sandbox files shipped from the broker), these
+	// are replicated grid datasets: the broker prices each candidate
+	// site's staging cost against the data catalog and folds it into
+	// the rank when data-aware matchmaking is on.
+	InputData []string
 	// Owner is the submitting user's identity (filled by the broker
 	// from the GSI credential, not from the JDL).
 	Owner string
@@ -248,6 +254,28 @@ func ExtractJob(d *Descriptor) (*Job, error) {
 		}
 	}
 
+	if v, ok := d.Get("InputData"); ok {
+		l, ok := v.(List)
+		if !ok {
+			return nil, validationErrf("InputData must be a list of strings")
+		}
+		seen := make(map[string]bool, len(l))
+		for _, item := range l {
+			s, ok := item.(String)
+			if !ok {
+				return nil, validationErrf("InputData must be a list of strings")
+			}
+			if s == "" {
+				return nil, validationErrf("InputData contains an empty dataset name")
+			}
+			if seen[string(s)] {
+				return nil, validationErrf("InputData names dataset %q twice", s)
+			}
+			seen[string(s)] = true
+			j.InputData = append(j.InputData, string(s))
+		}
+	}
+
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
@@ -369,6 +397,13 @@ func (j *Job) Descriptor() *Descriptor {
 			files = append(files, String(f))
 		}
 		d.Set("InputFiles", files)
+	}
+	if len(j.InputData) > 0 {
+		var data List
+		for _, n := range j.InputData {
+			data = append(data, String(n))
+		}
+		d.Set("InputData", data)
 	}
 	return d
 }

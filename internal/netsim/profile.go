@@ -89,6 +89,16 @@ func (p Profile) TransferTime(n int) time.Duration {
 	return d
 }
 
+// TransferTimeBytes is TransferTime for int64 sizes (dataset staging
+// moves gigabytes; int would overflow on 32-bit platforms).
+func (p Profile) TransferTimeBytes(n int64) time.Duration {
+	d := p.OneWayDelay + p.PerMessageCost
+	if p.BytesPerSec > 0 {
+		d += time.Duration(float64(n) / p.BytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
 // RTT returns the round-trip propagation time excluding payload
 // serialization.
 func (p Profile) RTT() time.Duration {

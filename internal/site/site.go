@@ -104,13 +104,19 @@ type Config struct {
 	QueryCost time.Duration
 	// MachineOpts configure each worker node's CPU.
 	MachineOpts []vmslot.Option
+	// Elastic, when set, replaces the classic batch queue with a
+	// cloud-style elastic pool: nodes cold-start on demand up to
+	// Elastic.MaxNodes (Nodes is ignored), stay warm for reuse, and are
+	// reclaimed when idle. The adapter publishes its shape through the
+	// Backend/StartupSec attributes.
+	Elastic *batch.ElasticConfig
 }
 
 // Site is one grid site.
 type Site struct {
 	sim    *simclock.Sim
 	cfg    Config
-	queue  *batch.Queue
+	lrms   batch.LRMS
 	tracer *trace.Tracer
 
 	// Failure-model state (driven by internal/faultinject or tests).
@@ -147,7 +153,9 @@ type CommitStats struct {
 	MaxInflight int
 }
 
-// New creates a site with its local queue and worker nodes.
+// New creates a site with its local resource manager and worker
+// nodes: the classic batch queue, or an elastic pool when cfg.Elastic
+// is set.
 func New(sim *simclock.Sim, cfg Config) *Site {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
@@ -161,14 +169,40 @@ func New(sim *simclock.Sim, cfg Config) *Site {
 	if cfg.Attrs == nil {
 		cfg.Attrs = map[string]any{"Arch": "i686", "OS": "linux", "MemoryMB": 512}
 	}
+	var lrms batch.LRMS
+	if cfg.Elastic != nil {
+		ec := *cfg.Elastic
+		if ec.Cycle <= 0 {
+			ec.Cycle = cfg.LRMCycle
+		}
+		lrms = batch.NewPool(sim, cfg.Name, ec, cfg.MachineOpts)
+		cfg.Nodes = lrms.TotalCPUs()
+	} else {
+		lrms = batch.NewQueue(sim, cfg.Name, cfg.Nodes, cfg.MachineOpts, batch.WithCycle(cfg.LRMCycle))
+	}
 	if cfg.QueueSlots <= 0 {
 		cfg.QueueSlots = 2 * cfg.Nodes
 	}
 	if cfg.QueryCost <= 0 {
 		cfg.QueryCost = 130 * time.Millisecond
 	}
-	q := batch.NewQueue(sim, cfg.Name, cfg.Nodes, cfg.MachineOpts, batch.WithCycle(cfg.LRMCycle))
-	return &Site{sim: sim, cfg: cfg, queue: q}
+	// Publish the backend's shape alongside the user attributes, so
+	// compiled Requirements/Rank expressions (and the interactive
+	// classifier) can see it. The map is cloned: callers may share
+	// attribute maps across sites.
+	b := lrms.Backend()
+	attrs := make(map[string]any, len(cfg.Attrs)+2)
+	for k, v := range cfg.Attrs {
+		attrs[k] = v
+	}
+	if _, ok := attrs[infosys.AttrBackend]; !ok {
+		attrs[infosys.AttrBackend] = b.Kind
+	}
+	if _, ok := attrs[infosys.AttrStartupSec]; !ok {
+		attrs[infosys.AttrStartupSec] = b.Startup.Seconds()
+	}
+	cfg.Attrs = attrs
+	return &Site{sim: sim, cfg: cfg, lrms: lrms}
 }
 
 // Name returns the site name.
@@ -178,8 +212,12 @@ func (s *Site) Name() string { return s.cfg.Name }
 // sets it at registration.
 func (s *Site) SetTracer(t *trace.Tracer) { s.tracer = t }
 
-// Queue exposes the local resource manager.
-func (s *Site) Queue() *batch.Queue { return s.queue }
+// Queue exposes the local resource manager adapter (a *batch.Queue or
+// *batch.Pool behind the LRMS interface).
+func (s *Site) Queue() batch.LRMS { return s.lrms }
+
+// Backend describes the site's LRMS shape.
+func (s *Site) Backend() batch.BackendInfo { return s.lrms.Backend() }
 
 // Costs returns the site's cost model.
 func (s *Site) Costs() Costs { return s.cfg.Costs }
@@ -201,7 +239,7 @@ func (s *Site) Crash() {
 	}
 	s.down = true
 	s.tracer.Emit(trace.Event{Kind: trace.SiteCrashed, Site: s.cfg.Name})
-	s.queue.CrashAll()
+	s.lrms.CrashAll()
 	for _, fn := range s.deathHooks {
 		fn()
 	}
@@ -248,9 +286,9 @@ func (s *Site) Record() infosys.SiteRecord {
 		Name:       s.cfg.Name,
 		Gatekeeper: s.cfg.Name + "/gatekeeper",
 		Attrs:      s.cfg.Attrs,
-		TotalCPUs:  len(s.queue.Nodes()),
-		FreeCPUs:   s.queue.FreeNodeCount(),
-		QueuedJobs: s.queue.QueueLength(),
+		TotalCPUs:  s.lrms.TotalCPUs(),
+		FreeCPUs:   s.lrms.FreeNodeCount(),
+		QueuedJobs: s.lrms.QueueLength(),
 	}
 }
 
@@ -303,7 +341,7 @@ func (s *Site) QueryStateOK() (free, queued int, ok bool) {
 	if !s.Available() {
 		return 0, 0, false
 	}
-	return s.queue.FreeNodeCount(), s.queue.QueueLength(), true
+	return s.lrms.FreeNodeCount(), s.lrms.QueueLength(), true
 }
 
 // SubmitOptions select which middleware costs a gatekeeper submission
@@ -365,7 +403,7 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 	if !s.Available() {
 		return nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name)
 	}
-	h, err := s.queue.Submit(req) // phase-1 accept
+	h, err := s.lrms.Submit(req) // phase-1 accept
 	if err != nil {
 		s.stats.Phase1Rejects++
 		return nil, err
@@ -386,9 +424,9 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 		// Phase 2 never completed: abort. A crash already dropped the
 		// job with the rest of the queue; after a mere outage the LRM
 		// aborts the uncommitted job when its commit timer expires.
-		s.queue.Kill(req.ID)
+		s.lrms.Kill(req.ID)
 		if req.ID == "" {
-			s.queue.Kill(h.ID())
+			s.lrms.Kill(h.ID())
 		}
 		s.stats.Aborted++
 		s.tracer.Emit(trace.Event{Kind: trace.CommitAborted, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})

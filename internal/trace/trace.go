@@ -130,6 +130,15 @@ const (
 	OffloadOrphaned
 )
 
+// Data-placement events.
+const (
+	// DataStaged marks the broker paying the real transfer of a job's
+	// InputData replicas to the chosen site before submission; Dur
+	// carries the staging time (zero-cost local staging is not
+	// emitted).
+	DataStaged Kind = iota + 80
+)
+
 var kindNames = map[Kind]string{
 	Submitted:       "submitted",
 	Matched:         "matched",
@@ -159,6 +168,7 @@ var kindNames = map[Kind]string{
 	OffloadSent:     "offload-sent",
 	OffloadAccepted: "offload-accepted",
 	OffloadOrphaned: "offload-orphaned",
+	DataStaged:      "data-staged",
 }
 
 var kindByName = func() map[string]Kind {

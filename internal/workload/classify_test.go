@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"crossbroker/internal/batch"
+	"crossbroker/internal/netsim"
+	"crossbroker/internal/simclock"
+	"crossbroker/internal/site"
+)
+
+// TestClassifyRuleBackendStartup is the regression test for the
+// backend-aware ceiling: a job whose runtime exceeds MaxRuntime but
+// not twice the advertised backend startup stays interactive, so the
+// on-line scheduler can reroute it around a cold start instead of
+// batch-queueing it behind one.
+func TestClassifyRuleBackendStartup(t *testing.T) {
+	j := TraceJob{Runtime: 12 * time.Minute, Nodes: 1}
+	classic := ClassifyRule{MaxRuntime: 10 * time.Minute, MaxNodes: 4}
+	if classic.Interactive(j) {
+		t.Fatal("12m job interactive under the classic 10m ceiling")
+	}
+	elastic := ClassifyRule{MaxRuntime: 10 * time.Minute, MaxNodes: 4, Startup: 8 * time.Minute}
+	if !elastic.Interactive(j) {
+		t.Fatal("12m job not interactive although 2×8m startup raises the ceiling to 16m")
+	}
+	if elastic.Interactive(TraceJob{Runtime: 20 * time.Minute, Nodes: 1}) {
+		t.Fatal("20m job interactive past the 16m backend ceiling")
+	}
+	// The width cut is independent of the backend.
+	if elastic.Interactive(TraceJob{Runtime: time.Minute, Nodes: 5}) {
+		t.Fatal("wide job interactive despite Nodes > MaxNodes")
+	}
+	// A fast-provisioning backend never lowers the classic ceiling.
+	fast := ClassifyRule{MaxRuntime: 10 * time.Minute, MaxNodes: 4, Startup: time.Second}
+	if !fast.Interactive(TraceJob{Runtime: 9 * time.Minute, Nodes: 1}) {
+		t.Fatal("9m job lost interactive status under a small startup cost")
+	}
+}
+
+// TestClassifyRuleStartupFromSiteBackend pins the wiring contract:
+// the Startup knob is fed from batch.BackendInfo as advertised by an
+// elastic site, not from a hand-maintained constant.
+func TestClassifyRuleStartupFromSiteBackend(t *testing.T) {
+	sim := simclock.NewSim(time.Time{})
+	st := site.New(sim, site.Config{
+		Name:    "cloud00",
+		Network: netsim.CampusGrid(),
+		Costs:   site.DefaultCosts(),
+		Elastic: &batch.ElasticConfig{
+			MaxNodes:        4,
+			ColdStart:       4 * time.Minute,
+			ColdStartJitter: time.Minute,
+		},
+	})
+	rule := ClassifyRule{MaxRuntime: time.Minute, MaxNodes: 4, Startup: st.Backend().Startup}
+	if rule.Startup != 5*time.Minute {
+		t.Fatalf("Startup from site backend = %v, want the worst case 5m", rule.Startup)
+	}
+	j := TraceJob{Runtime: 8 * time.Minute, Nodes: 1}
+	if !rule.Interactive(j) {
+		t.Fatal("8m job not interactive under a 10m backend-derived ceiling")
+	}
+	batchRule := ClassifyRule{MaxRuntime: time.Minute, MaxNodes: 4}
+	if batchRule.Interactive(j) {
+		t.Fatal("8m job interactive on an always-provisioned backend with a 1m ceiling")
+	}
+}

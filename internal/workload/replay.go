@@ -198,6 +198,16 @@ type ClassifyRule struct {
 	// MaxNodes is the widest job still considered interactive
 	// (default 4).
 	MaxNodes int
+	// Startup is the grid's advertised worst-case node startup cost
+	// (the largest batch.BackendInfo.Startup among the sites the
+	// replay feeds — an elastic pool's cold-start bound). A job only
+	// counts as interactive when its runtime dominates that cost:
+	// classifying a 2-minute job as interactive in front of a
+	// 10-minute cold start buys queue-jumping for a session that
+	// spends most of its life waiting on provisioning. The interactive
+	// runtime ceiling is therefore max(MaxRuntime, 2×Startup). Zero —
+	// always-provisioned backends — keeps the classic rule.
+	Startup time.Duration
 }
 
 func (r *ClassifyRule) setDefaults() {
@@ -213,7 +223,20 @@ func (r *ClassifyRule) setDefaults() {
 // interactive session.
 func (r ClassifyRule) Interactive(j TraceJob) bool {
 	r.setDefaults()
-	return j.Runtime <= r.MaxRuntime && j.Nodes <= r.MaxNodes
+	if j.Nodes > r.MaxNodes {
+		return false
+	}
+	ceil := r.MaxRuntime
+	if backendCeil := 2 * r.Startup; backendCeil > ceil {
+		// Backend-aware ceiling: routed as batch on a slow-provisioning
+		// backend, any job up to twice the startup cost pays a cold
+		// start that rivals its own runtime — so such jobs keep the
+		// interactive classification (whose on-line scheduling kills a
+		// queued attempt and reroutes instead of waiting out the boot),
+		// even past the wall-clock MaxRuntime.
+		ceil = backendCeil
+	}
+	return j.Runtime <= ceil
 }
 
 // ReplayConfig parametrizes a Replay stream.
