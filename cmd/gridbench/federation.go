@@ -28,9 +28,9 @@ type federationReport struct {
 // baseline. Fully deterministic for a fixed seed: two runs produce
 // byte-identical reports (and, with -traceout, byte-identical merged
 // event logs).
-func federation(out, baseline, traceout string, quick bool, seed int64, tolerance float64) error {
+func federation(out, baseline, traceout string, quick bool, seed int64, tolerance float64, engine string) error {
 	pts, err := experiments.FederationSweep(experiments.FederationConfig{
-		Seed: seed, Quick: quick, Traced: traceout != "",
+		Seed: seed, Quick: quick, Traced: traceout != "", Engine: engine,
 	})
 	if err != nil {
 		return err

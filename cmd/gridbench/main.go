@@ -32,6 +32,7 @@ import (
 
 	"crossbroker/internal/experiments"
 	"crossbroker/internal/netsim"
+	"crossbroker/internal/workload"
 )
 
 func main() {
@@ -77,9 +78,21 @@ func realMain() int {
 	sites := flag.Int("sites", 0, "replay grid sites (0 = 4, or 8 with -synth)")
 	nodes := flag.Int("nodes", 0, "replay nodes per site (0 = 8, or 16 with -synth)")
 	nowall := flag.Bool("nowall", false, "zero the wall-clock throughput fields in -exp replay output (for determinism diffs)")
+	engine := flag.String("engine", "", "simulation engine for the sweep experiments: callback (run-to-completion, the fast default) or goroutine (cooperative reference); both give byte-identical results")
+	fetch := flag.String("fetch", "", "download a workload archive URL into the local content-addressed cache and print its path (see EXPERIMENTS.md)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *fetch != "" {
+		path, err := workload.Fetch(*fetch, workload.FetchOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridbench: -fetch: %v\n", err)
+			return 1
+		}
+		fmt.Println(path)
+		return 0
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -139,14 +152,14 @@ func realMain() int {
 			return fmt.Errorf("-churn: %w", err)
 		}
 		return scaleExp(*scaleOut, *scaleBaseline, *shards, *pageSize, *quick, *seed, *tolerance,
-			rates, *churnSites, *deltaDepth)
+			rates, *churnSites, *deltaDepth, *engine)
 	})
-	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *deltaChaos, *seed) })
+	run("chaos", func() error { return chaos(*chaosOut, *traceOut, *quick, *deltaChaos, *seed, *engine) })
 	run("federation", func() error {
-		return federation(*fedOut, *fedBaseline, *traceOut, *quick, *seed, *tolerance)
+		return federation(*fedOut, *fedBaseline, *traceOut, *quick, *seed, *tolerance, *engine)
 	})
 	run("dataaware", func() error {
-		return dataaware(*dataOut, *dataBaseline, *quick, *seed, *tolerance)
+		return dataaware(*dataOut, *dataBaseline, *quick, *seed, *tolerance, *engine)
 	})
 	// replay needs a workload log and checktrace an existing event
 	// log, so both run only when named explicitly (there is nothing to
@@ -159,6 +172,7 @@ func realMain() int {
 				window: *window, speedups: *speedups,
 				seed: *seed, sites: *sites, nodes: *nodes,
 				nowall: *nowall, baseline: *replayBaseline, tolerance: *tolerance,
+				engine: *engine,
 			})
 		})
 	}

@@ -128,7 +128,7 @@ func (p *Pool) Backend() BackendInfo {
 // the pool bound, not the provisioned count: an empty pool still
 // accepts work, it just pays cold starts.
 func (p *Pool) Submit(r Request) (*Handle, error) {
-	if r.Run == nil {
+	if r.Run == nil && r.RunCB == nil {
 		return nil, fmt.Errorf("%w: nil Run body", ErrBadRequest)
 	}
 	if r.Nodes < 1 {
@@ -338,6 +338,12 @@ func (p *Pool) start(h *Handle, nodes []*Node) {
 	h.exec = &ExecCtx{Nodes: nodes, Killed: p.sim.NewTrigger(), sim: p.sim}
 	h.Started.Fire()
 	gen := p.gen
+	if h.req.RunCB != nil && p.sim.Callback() {
+		p.sim.Post(func() {
+			h.req.RunCB(h.exec, func() { p.finish(h, nodes, gen) })
+		})
+		return
+	}
 	p.sim.Go(func() {
 		h.req.Run(h.exec)
 		p.finish(h, nodes, gen)

@@ -435,12 +435,22 @@ type Broker struct {
 	leases     map[string]*leaseQueue // site -> lease expiry batches
 	health     map[string]*siteHealth // site -> circuit-breaker state
 
-	// freeAgents tracks agents believed to have a free interactive
-	// VM, sorted by agent ID. Agents are added when they become ready
-	// or a VM frees up, and dropped lazily when a scan observes them
-	// busy (or eagerly on release), so an interactive submission scans
-	// only candidate agents instead of the whole registry — the old
-	// full scan was the dominant per-job cost on large grids.
+	// scan is the matchmaking-pass index: one lookup resolves a
+	// published record's registered site and its breaker state
+	// together. The page scan visits every published record on every
+	// pass, so the separate sites/health hashes it replaces were the
+	// dominant matchmaking cost on large grids. Maintained by
+	// RegisterSite/UnregisterSite and healthFor.
+	scan map[string]scanEntry
+
+	// freeAgents tracks agents with a free interactive VM, sorted by
+	// agent ID. The list is exact: agents enter when they become
+	// ready or a VM frees up (OnFree) and leave when the last VM is
+	// taken (OnBusy) or on release, so an interactive submission
+	// scans only true candidates without polling FreeSlots — the old
+	// registry-wide scan was the dominant per-job cost on large
+	// grids, and the lazy busy-eviction walk that replaced it still
+	// paid a pointer-chasing Free() check per entry.
 	// freeSet is the membership index; freeScratch and reqMemo are
 	// per-call scratch storage for freeAgentsMatching.
 	freeAgents  []agentEntry
@@ -474,6 +484,14 @@ type agentEntry struct {
 	site  *site.Site
 }
 
+// scanEntry is one site's slot in the matchmaking scan index. hl is
+// the same pointer held in the health map (nil until the breaker
+// records its first interaction).
+type scanEntry struct {
+	st *site.Site
+	hl *siteHealth
+}
+
 // New creates a broker.
 func New(cfg Config) *Broker {
 	cfg.setDefaults()
@@ -489,6 +507,7 @@ func New(cfg Config) *Broker {
 		agentSites: make(map[*glidein.Agent]*site.Site),
 		leases:     make(map[string]*leaseQueue),
 		health:     make(map[string]*siteHealth),
+		scan:       make(map[string]scanEntry),
 	}
 	if cfg.Incremental {
 		src, ok := cfg.Info.(infosys.DeltaSource)
@@ -508,6 +527,7 @@ func New(cfg Config) *Broker {
 func (b *Broker) RegisterSite(st *site.Site) {
 	b.sites[st.Name()] = st
 	name := st.Name()
+	b.scan[name] = scanEntry{st: st, hl: b.health[name]}
 	st.SetTracer(b.cfg.Trace)
 	st.OnDeath(func() {
 		b.releaseSiteLeases(name)
@@ -534,6 +554,7 @@ func (b *Broker) UnregisterSite(name string) {
 		return
 	}
 	delete(b.sites, name)
+	delete(b.scan, name)
 	if b.cfg.Info != nil {
 		b.cfg.Info.Remove(name)
 	}
@@ -602,8 +623,21 @@ func (b *Broker) Submit(req Request) (*Handle, error) {
 		submittedAt: b.sim.Now(),
 	}
 	b.cfg.Trace.Emit(trace.Event{Kind: trace.Submitted, Job: h.ID, Detail: jobClass(req.Job)})
-	b.sim.Go(func() { b.route(h) })
+	b.startRoute(h)
 	return h, nil
+}
+
+// startRoute launches the scheduling flow on the configured engine —
+// one event at +0 either way. Jobs with a custom blocking Body stay on
+// the cooperative path even under EngineCallback; since both engines
+// schedule identical event patterns, mixed workloads remain
+// deterministic and trace-equivalent.
+func (b *Broker) startRoute(h *Handle) {
+	if b.cbReady() && h.request.Body == nil {
+		b.sim.Post(func() { b.routeCB(h) })
+		return
+	}
+	b.sim.Go(func() { b.route(h) })
 }
 
 // SubmitTransferred adopts a job shipped from a peer broker. The
@@ -633,7 +667,7 @@ func (b *Broker) SubmitTransferred(req Request, id string, attempt int) (*Handle
 		abort:       b.sim.NewTrigger(),
 		submittedAt: b.sim.Now(),
 	}
-	b.sim.Go(func() { b.route(h) })
+	b.startRoute(h)
 	return h, nil
 }
 
@@ -803,17 +837,29 @@ type siteHealth struct {
 	lastSuccess time.Time
 }
 
+// healthFor returns the site's breaker state, creating it on first
+// use and mirroring the new pointer into the scan index so the
+// matchmaking pass resolves it without a second map hit.
+func (b *Broker) healthFor(name string) *siteHealth {
+	hl := b.health[name]
+	if hl == nil {
+		hl = &siteHealth{}
+		b.health[name] = hl
+		if ent, ok := b.scan[name]; ok {
+			ent.hl = hl
+			b.scan[name] = ent
+		}
+	}
+	return hl
+}
+
 // noteSiteFailure records a failed interaction with a site, tripping
 // the circuit breaker at QuarantineThreshold consecutive failures.
 func (b *Broker) noteSiteFailure(name string) {
 	if b.cfg.QuarantineThreshold < 0 {
 		return
 	}
-	hl := b.health[name]
-	if hl == nil {
-		hl = &siteHealth{}
-		b.health[name] = hl
-	}
+	hl := b.healthFor(name)
 	hl.fails++
 	hl.probing = false
 	if hl.fails >= b.cfg.QuarantineThreshold {
@@ -828,11 +874,7 @@ func (b *Broker) noteSiteFailure(name string) {
 // noteSiteSuccess resets a site's circuit breaker and records the
 // success as reconciliation evidence.
 func (b *Broker) noteSiteSuccess(name string) {
-	hl := b.health[name]
-	if hl == nil {
-		hl = &siteHealth{}
-		b.health[name] = hl
-	}
+	hl := b.healthFor(name)
 	if !hl.quarantinedUntil.IsZero() {
 		b.cfg.Trace.Emit(trace.Event{Kind: trace.Unquarantined, Site: name})
 	}
@@ -859,11 +901,7 @@ func (b *Broker) quarantineNow(name string) {
 	if b.cfg.QuarantineThreshold < 0 {
 		return
 	}
-	hl := b.health[name]
-	if hl == nil {
-		hl = &siteHealth{}
-		b.health[name] = hl
-	}
+	hl := b.healthFor(name)
 	if hl.fails < b.cfg.QuarantineThreshold {
 		hl.fails = b.cfg.QuarantineThreshold
 	}
@@ -888,11 +926,18 @@ func (b *Broker) quarantined(name string) bool {
 // concurrent passes — even in the same tick — keep the site excluded,
 // so a tentatively readmitted site sees exactly one probe in flight.
 func (b *Broker) siteExcluded(name string) bool {
-	hl := b.health[name]
+	return b.siteExcludedAt(b.health[name], b.sim.Now())
+}
+
+// siteExcludedAt is siteExcluded with the breaker state and clock
+// already resolved — the page scan reads both once per page instead
+// of once per record (no virtual time passes inside a page, so the
+// hoisted clock read is exact).
+func (b *Broker) siteExcludedAt(hl *siteHealth, now time.Time) bool {
 	if hl == nil {
 		return false
 	}
-	if b.sim.Now().Before(hl.quarantinedUntil) {
+	if now.Before(hl.quarantinedUntil) {
 		return true
 	}
 	if hl.fails >= b.cfg.QuarantineThreshold && b.cfg.QuarantineThreshold > 0 && !hl.quarantinedUntil.IsZero() {

@@ -178,7 +178,6 @@ func (b *Broker) matchPass(h *Handle, excluded map[string]bool) []candidate {
 // simulation process.
 func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 	h.state = Matching
-	job := h.request.Job
 
 	dstart := b.sim.Now()
 	var cur *infosys.Cursor
@@ -195,72 +194,94 @@ func (b *Broker) matchStream(h *Handle, excluded map[string]bool) []candidate {
 	topk := b.cfg.TopK
 	keep := topkHeap(b.getTasks())
 	for page, ok := cur.Next(); ok; page, ok = cur.Next() {
-		snap := page.Snapshot()
-		// The schema is shared service-wide, so this compiles once per
-		// job and is a cache hit on every later page and pass.
-		req, rank := job.CompiledPredicates(snap.Schema())
-		for i := 0; i < page.Len(); i++ {
-			h.scanned++
-			name := page.Name(i)
-			if excluded[name] {
-				continue
-			}
-			if b.siteExcluded(name) {
-				h.unavailable++
-				continue
-			}
-			st, ok := b.sites[name]
-			if !ok {
-				continue // stale record for an unregistered site
-			}
-			if req != nil {
-				m := page.MatchAttrs(i)
-				pass, err := req.EvalBool(m.Values())
-				m.Release()
-				if err != nil || !pass {
-					continue
-				}
-			}
-			pen, pok := b.dataPenalty(job, name)
-			if !pok {
-				continue // some input dataset is unobtainable here
-			}
-			p := probeTask{st: st, snap: snap, idx: page.Index(i)}
-			if !b.cfg.Deterministic {
-				p.noise = selectionNoise(nonce, name)
-			}
-			if topk > 0 {
-				if rank != nil {
-					m := page.MatchAttrs(i)
-					r, err := rank.EvalNumber(m.Values())
-					m.Release()
-					if err != nil {
-						continue
-					}
-					p.prelim = r - pen
-				} else {
-					p.prelim = float64(page.RecordShared(i).FreeCPUs) - pen
-				}
-				if len(keep) == topk {
-					if probeBetter(&p, &keep[0]) {
-						keep[0] = p
-						heap.Fix(&keep, 0)
-					}
-				} else {
-					heap.Push(&keep, p)
-				}
-			} else {
-				keep = append(keep, p)
-			}
-			if len(keep) > h.peak {
-				h.peak = len(keep)
-			}
-		}
+		b.scanPage(h, page, excluded, nonce, topk, &keep)
 	}
 	cands := b.finishSelection(h, []probeTask(keep))
 	b.putTasks([]probeTask(keep))
 	h.Phases.Selection += b.sim.Since(sstart)
 	return cands
+}
+
+// scanPage filters one discovery page into the bounded top-K
+// candidate heap. It is the page loop shared verbatim by matchStream
+// and its callback twin (matchStreamCB): pure computation, no virtual
+// time passes inside a page — probes and page latency happen outside
+// — so the clock is read once per page, and the scan index resolves a
+// record's registered site and breaker state in a single lookup. The
+// pass visits every published record, which made the per-record
+// sites/health/clock triple the dominant matchmaking cost on large
+// grids.
+func (b *Broker) scanPage(h *Handle, page infosys.Page, excluded map[string]bool, nonce uint64, topk int, keep *topkHeap) {
+	job := h.request.Job
+	snap := page.Snapshot()
+	// The schema is shared service-wide, so this compiles once per
+	// job and is a cache hit on every later page and pass.
+	req, rank := job.CompiledPredicates(snap.Schema())
+	now := b.sim.Now()
+	for i := 0; i < page.Len(); i++ {
+		h.scanned++
+		name := page.Name(i)
+		if excluded[name] {
+			continue
+		}
+		ent, registered := b.scan[name]
+		hl := ent.hl
+		if !registered {
+			// A stale record may still carry breaker state (the site
+			// was unregistered after failures were recorded).
+			hl = b.health[name]
+		}
+		if b.siteExcludedAt(hl, now) {
+			h.unavailable++
+			continue
+		}
+		if !registered {
+			continue // stale record for an unregistered site
+		}
+		st := ent.st
+		if req != nil {
+			m := page.MatchAttrs(i)
+			pass, err := req.EvalBool(m.Values())
+			m.Release()
+			if err != nil || !pass {
+				continue
+			}
+		}
+		pen, pok := b.dataPenalty(job, name)
+		if !pok {
+			continue // some input dataset is unobtainable here
+		}
+		p := probeTask{st: st, snap: snap, idx: page.Index(i)}
+		if !b.cfg.Deterministic {
+			p.noise = selectionNoise(nonce, name)
+		}
+		if topk > 0 {
+			if rank != nil {
+				m := page.MatchAttrs(i)
+				r, err := rank.EvalNumber(m.Values())
+				m.Release()
+				if err != nil {
+					continue
+				}
+				p.prelim = r - pen
+			} else {
+				p.prelim = float64(page.RecordShared(i).FreeCPUs) - pen
+			}
+			if len(*keep) == topk {
+				if probeBetter(&p, &(*keep)[0]) {
+					(*keep)[0] = p
+					heap.Fix(keep, 0)
+				}
+			} else {
+				heap.Push(keep, p)
+			}
+		} else {
+			*keep = append(*keep, p)
+		}
+		if len(*keep) > h.peak {
+			h.peak = len(*keep)
+		}
+	}
 }
 
 // selection is the whole-snapshot matchmaking pass: it filters the
@@ -329,12 +350,26 @@ func (b *Broker) finishSelection(h *Handle, kept []probeTask) []candidate {
 	// matches (whole snapshot, shard-major stream, top-K heap): probes
 	// spend simulated time, so a stable order keeps lease expiries and
 	// concurrent passes interleaving identically across paths.
-	sort.Slice(kept, func(i, j int) bool { return kept[i].st.Name() < kept[j].st.Name() })
+	sortTasksByName(kept)
 	// "Information may not be completely accurate ... CrossBroker
 	// contacts each remote site individually and gets the most updated
 	// information about the state of their local queues."
 	b.probeSites(kept)
+	return b.rankProbed(h, kept)
+}
 
+// sortTasksByName orders probe tasks by site name — the stable probe
+// order both engines share.
+func sortTasksByName(kept []probeTask) {
+	sort.Slice(kept, func(i, j int) bool { return kept[i].st.Name() < kept[j].st.Name() })
+}
+
+// rankProbed is the pure post-probe half of finishSelection: apply
+// probe outcomes, re-rank survivors on fresh state, order best first.
+// Shared verbatim by both engines (finishSelection and
+// finishSelectionCB), so the candidate order cannot drift between
+// them.
+func (b *Broker) rankProbed(h *Handle, kept []probeTask) []candidate {
 	job := h.request.Job
 	cands := make([]candidate, 0, len(kept))
 	for _, p := range kept {
@@ -694,7 +729,7 @@ func (b *Broker) dispatchPending() {
 			b.fail(h, h.abortErr)
 			continue
 		}
-		b.sim.Go(func() { b.runBatch(h) })
+		b.startBatchRun(h)
 	}
 }
 

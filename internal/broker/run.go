@@ -259,6 +259,9 @@ func (b *Broker) wireAgent(agent *glidein.Agent, st *site.Site) {
 		b.freeAgentAdd(agent, st)
 		b.kickDispatch()
 	}
+	agent.OnBusy = func(*glidein.Agent) {
+		b.freeAgentRemove(agent)
+	}
 	agent.Released().OnFire(func() {
 		delete(b.agents, agent.ID())
 		delete(b.agentSites, agent)
@@ -606,13 +609,13 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 }
 
 // freeAgentsMatching returns free agents whose site satisfies the
-// job's Requirements, in randomized order. The scan walks the
-// ID-sorted free-agent candidate list (a deterministic base order,
-// then the broker's seeded shuffle), evicting agents observed busy —
-// they re-enter via OnFree — so its cost tracks the free population,
-// not the registry size. It reuses a scratch result buffer: the
-// returned slice is only valid until the next call, which is fine
-// because callers consume it before yielding to the simulation.
+// job's Requirements, in randomized order. The ID-sorted candidate
+// list is exact — OnFree/OnBusy/Released keep it in step with every
+// slot transition — so the scan never polls FreeSlots; a list entry
+// IS a free agent (a deterministic base order, then the broker's
+// seeded shuffle). It reuses a scratch result buffer: the returned
+// slice is only valid until the next call, which is fine because
+// callers consume it before yielding to the simulation.
 // Requirements are evaluated once per distinct site, not per agent.
 // need caps how many leading agents the caller will consume, so only
 // that prefix is randomized (a partial Fisher-Yates draws each prefix
@@ -620,33 +623,27 @@ func (b *Broker) runInteractiveShared(h *Handle) {
 // shuffle would).
 func (b *Broker) freeAgentsMatching(job *jdl.Job, need int) []*glidein.Agent {
 	out := b.freeScratch[:0]
-	if job.Requirements != nil {
+	if job.Requirements == nil {
+		for _, e := range b.freeAgents {
+			out = append(out, e.agent)
+		}
+	} else {
 		if b.reqMemo == nil {
 			b.reqMemo = make(map[*site.Site]bool)
 		}
 		clear(b.reqMemo)
-	}
-	live := b.freeAgents[:0]
-	for _, e := range b.freeAgents {
-		if !e.agent.Free() {
-			delete(b.freeSet, e.agent)
-			continue
-		}
-		live = append(live, e)
-		if job.Requirements != nil {
+		for _, e := range b.freeAgents {
 			ok, seen := b.reqMemo[e.site]
 			if !seen {
 				v, err := job.Requirements.EvalBool(e.site.Record().MatchAttrs())
 				ok = err == nil && v
 				b.reqMemo[e.site] = ok
 			}
-			if !ok {
-				continue
+			if ok {
+				out = append(out, e.agent)
 			}
 		}
-		out = append(out, e.agent)
 	}
-	b.freeAgents = live
 	b.freeScratch = out
 	if !b.cfg.Deterministic {
 		k := need

@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"crossbroker/internal/trace"
+)
+
+// TestEngineEquivalence is the acceptance gate for the run-to-completion
+// engine: every experiment driver, run under the cooperative goroutine
+// reference engine and under the callback engine with the same seed,
+// must produce byte-identical JSON point lists and byte-identical event
+// logs. The mapping rules the broker, site, glidein, batch, netsim and
+// federation callback paths follow (one event per Go/Sleep/Wait at the
+// same virtual instant) make the two engines indistinguishable from the
+// event heap's point of view; this table proves it end to end for each
+// experiment family.
+func TestEngineEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T, engine string) (points []byte, traces []trace.Trace)
+	}{
+		{"replay", func(t *testing.T, engine string) ([]byte, []trace.Trace) {
+			pts, err := ReplaySweep(ReplayConfig{
+				Jobs: loadFixture(t, "grid5000.gwf"), Seed: 7,
+				Speedups: []float64{1, 4}, Traced: true, Engine: engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var traces []trace.Trace
+			for _, p := range pts {
+				traces = append(traces, p.Trace)
+			}
+			return mustJSON(t, pts), traces
+		}},
+		{"chaos", func(t *testing.T, engine string) ([]byte, []trace.Trace) {
+			pts, err := ChaosSweep(ChaosConfig{Quick: true, Seed: 5, Traced: true, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var traces []trace.Trace
+			for _, p := range pts {
+				traces = append(traces, p.Trace)
+			}
+			return mustJSON(t, pts), traces
+		}},
+		{"chaos-delta-elastic", func(t *testing.T, engine string) ([]byte, []trace.Trace) {
+			pts, err := ChaosSweep(ChaosConfig{
+				Quick: true, Seed: 5, Delta: true, Elastic: true, Traced: true, Engine: engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var traces []trace.Trace
+			for _, p := range pts {
+				traces = append(traces, p.Trace)
+			}
+			return mustJSON(t, pts), traces
+		}},
+		{"federation", func(t *testing.T, engine string) ([]byte, []trace.Trace) {
+			pts, err := FederationSweep(FederationConfig{Quick: true, Seed: 9, Traced: true, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var traces []trace.Trace
+			for _, p := range pts {
+				traces = append(traces, p.Trace)
+			}
+			return mustJSON(t, pts), traces
+		}},
+		{"scale", func(t *testing.T, engine string) ([]byte, []trace.Trace) {
+			pts, err := ScaleSweep(ScaleConfig{
+				Points: []int{100}, Passes: 2, Seed: 3,
+				ChurnRates: []int{64}, ChurnSites: 250, Engine: engine,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Allocation counts are an implementation property of each
+			// engine (the goroutine engine allocates park/resume state the
+			// callback engine never touches); everything virtual-time and
+			// pass-shaped must match exactly.
+			for i := range pts {
+				pts[i].AllocsPerPass, pts[i].BytesPerPass = 0, 0
+			}
+			return mustJSON(t, pts), nil
+		}},
+		{"dataaware", func(t *testing.T, engine string) ([]byte, []trace.Trace) {
+			pts, err := DataAwareSweep(DataAwareConfig{Quick: true, Seed: 1, Engine: engine})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return mustJSON(t, pts), nil
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			jRef, trRef := tc.run(t, "goroutine")
+			jCB, trCB := tc.run(t, "callback")
+			if !bytes.Equal(jRef, jCB) {
+				t.Errorf("JSON points diverged between engines:\n--- goroutine ---\n%s\n--- callback ---\n%s", jRef, jCB)
+			}
+			if len(trRef) != len(trCB) {
+				t.Fatalf("trace count diverged: %d vs %d", len(trRef), len(trCB))
+			}
+			for i := range trRef {
+				bRef, bCB := traceJSON(t, trRef[i]), traceJSON(t, trCB[i])
+				if !bytes.Equal(bRef, bCB) {
+					t.Errorf("trace %d (%s) diverged between engines: %s", i, trRef[i].Label,
+						firstTraceDiff(bRef, bCB))
+				}
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// firstTraceDiff renders the first differing JSONL line of two event
+// logs — a full multi-thousand-line dump would drown the real signal.
+func firstTraceDiff(a, b []byte) string {
+	la := bytes.Split(a, []byte("\n"))
+	lb := bytes.Split(b, []byte("\n"))
+	n := len(la)
+	if len(lb) < n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(la[i], lb[i]) {
+			return fmt.Sprintf("first diff at line %d:\n  goroutine: %s\n  callback:  %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("one log is a strict prefix of the other (%d vs %d lines)", len(la), len(lb))
+}

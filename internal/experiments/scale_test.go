@@ -35,7 +35,7 @@ func TestScalePassMemoryBounded(t *testing.T) {
 	}
 
 	bound := uint64(cfg.PageSize + cfg.TopK)
-	if paged.AllocsPerPass > bound {
+	if !raceEnabled && paged.AllocsPerPass > bound {
 		t.Fatalf("paged pass allocated %d objects at 5000 sites, want <= page size + K = %d",
 			paged.AllocsPerPass, bound)
 	}
@@ -56,7 +56,7 @@ func TestScalePassMemoryBounded(t *testing.T) {
 		t.Fatalf("paged pass bytes (%d) not clearly below snapshot pass bytes (%d)",
 			paged.BytesPerPass, snap.BytesPerPass)
 	}
-	if paged.PassMicros > snap.PassMicros {
+	if !raceEnabled && paged.PassMicros > snap.PassMicros {
 		t.Fatalf("paged pass slower than snapshot pass at 5000 sites: %dµs > %dµs",
 			paged.PassMicros, snap.PassMicros)
 	}
@@ -72,11 +72,11 @@ func TestScalePassMemoryBounded(t *testing.T) {
 	if delta.Scanned != 5000 || delta.PeakCandidates != cfg.TopK {
 		t.Fatalf("delta cell: scanned=%d peak=%d, want full mirror and TopK peak", delta.Scanned, delta.PeakCandidates)
 	}
-	if delta.DiscoveryMicros >= paged.DiscoveryMicros {
+	if !raceEnabled && delta.DiscoveryMicros >= paged.DiscoveryMicros {
 		t.Fatalf("delta poll (%dµs) not below paged discovery (%dµs)",
 			delta.DiscoveryMicros, paged.DiscoveryMicros)
 	}
-	if delta.PassMicros > paged.PassMicros {
+	if !raceEnabled && delta.PassMicros > paged.PassMicros {
 		t.Fatalf("delta pass slower than paged pass at 5000 sites: %dµs > %dµs",
 			delta.PassMicros, paged.PassMicros)
 	}

@@ -382,13 +382,15 @@ func (f *Federation) leastLoaded(origin, exclude *Node) *Node {
 }
 
 // send opens a transfer lease and runs the two-hop exchange (request,
-// then ack) as one simulation process on the shaped peer link.
+// then ack) as one simulation process on the shaped peer link. On the
+// callback engine the same exchange is a posted event chaining two
+// timer events — the spawn/sleep/sleep pattern the cooperative process
+// schedules, so merged federation traces stay byte-identical.
 func (n *Node) send(s *shipment, dst *Node) {
 	n.out[s.id] = &transferLease{dst: dst}
 	n.tr.Emit(trace.Event{Kind: trace.OffloadSent, Job: s.id, Site: n.name, Detail: dst.name})
 	f := n.fed
-	f.sim.Go(func() {
-		f.sim.Sleep(f.cfg.Link.TransferTime(f.cfg.JobBytes))
+	deliver := func(cont func()) {
 		if n.down || n.linkDown || dst.down || dst.linkDown {
 			// The request never arrived: the lease resolves and the job
 			// is still exclusively the origin's — requeueing is safe.
@@ -396,7 +398,9 @@ func (n *Node) send(s *shipment, dst *Node) {
 			return
 		}
 		dst.accept(s, n)
-		f.sim.Sleep(f.cfg.Link.RTT() / 2)
+		cont()
+	}
+	ack := func() {
 		if n.down || n.linkDown || dst.down || dst.linkDown {
 			// Ack lost AFTER delivery: the receiver owns the job, so the
 			// origin must NOT requeue. The lease stays open (orphaned)
@@ -408,6 +412,23 @@ func (n *Node) send(s *shipment, dst *Node) {
 			return
 		}
 		delete(n.out, s.id)
+	}
+	if f.sim.Callback() {
+		f.sim.Post(func() {
+			f.sim.AfterFunc(f.cfg.Link.TransferTime(f.cfg.JobBytes), func() {
+				deliver(func() {
+					f.sim.AfterFunc(f.cfg.Link.RTT()/2, ack)
+				})
+			})
+		})
+		return
+	}
+	f.sim.Go(func() {
+		f.sim.Sleep(f.cfg.Link.TransferTime(f.cfg.JobBytes))
+		deliver(func() {
+			f.sim.Sleep(f.cfg.Link.RTT() / 2)
+			ack()
+		})
 	})
 }
 
@@ -457,24 +478,47 @@ func (n *Node) forward(s *shipment) {
 }
 
 // park queues a shipment at a relay and keeps one retry loop alive.
+// The callback engine runs the same loop as a self-rescheduling timer
+// chain: one posted event to start, one timer event per retry tick —
+// exactly the cooperative process's spawn/sleep pattern.
 func (n *Node) park(s *shipment) {
 	n.relayQ = append(n.relayQ, s)
 	if n.relaying {
 		return
 	}
 	n.relaying = true
+	tick := func() bool { // one post-sleep iteration; false ends the loop
+		if n.down || n.linkDown {
+			return len(n.relayQ) > 0
+		}
+		q := n.relayQ
+		n.relayQ = nil
+		for _, s := range q {
+			// Retries may re-park into relayQ; the loop keeps going.
+			s.exclude = nil // any child will do by now
+			n.forward(s)
+		}
+		return len(n.relayQ) > 0
+	}
+	if n.fed.sim.Callback() {
+		var loop func()
+		loop = func() {
+			n.fed.sim.AfterFunc(n.fed.cfg.RelayRetry, func() {
+				if tick() {
+					loop()
+					return
+				}
+				n.relaying = false
+			})
+		}
+		n.fed.sim.Post(loop)
+		return
+	}
 	n.fed.sim.Go(func() {
 		for len(n.relayQ) > 0 {
 			n.fed.sim.Sleep(n.fed.cfg.RelayRetry)
-			if n.down || n.linkDown {
-				continue
-			}
-			q := n.relayQ
-			n.relayQ = nil
-			for _, s := range q {
-				// Retries may re-park into relayQ; the loop keeps going.
-				s.exclude = nil // any child will do by now
-				n.forward(s)
+			if !tick() {
+				break
 			}
 		}
 		n.relaying = false

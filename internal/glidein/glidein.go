@@ -90,6 +90,11 @@ type InteractiveJob struct {
 	PerformanceLoss int
 	// Run is the job body, executed as a simulation process.
 	Run func(ctx *InteractiveContext)
+	// RunCB is the callback-engine job body: it wires its own
+	// continuations and calls done exactly once when the job is
+	// finished. Used instead of Run when the clock runs EngineCallback
+	// and RunCB is set.
+	RunCB func(ctx *InteractiveContext, done func())
 }
 
 // Agent is a live glide-in on one worker node.
@@ -110,7 +115,7 @@ type Agent struct {
 	batchDone  bool
 	batchDoneT *simclock.Trigger
 	released   *simclock.Trigger
-	relFired   bool // mirrors released.Fired(), avoids the Trigger mutex on hot paths
+	relFired   bool // mirrors released.Fired(), avoids the pointer chase on hot paths
 	ready      *simclock.Trigger
 	hasBatch   bool
 	batchID    string
@@ -119,6 +124,10 @@ type Agent struct {
 	// interactive VM becomes available; the broker uses it to update
 	// its local agent registry.
 	OnFree func(*Agent)
+	// OnBusy is the converse: invoked when the last interactive VM is
+	// taken. Together with OnFree it lets the broker keep an exact
+	// free-agent list, so matchmaking never has to poll FreeSlots.
+	OnBusy func(*Agent)
 	// OnYield and OnRestore are invoked when the batch payload's CPU
 	// share is lowered for / restored after interactive jobs, with
 	// the batch job id and the effective PerformanceLoss. The broker
@@ -138,6 +147,37 @@ func Launch(sim *simclock.Sim, st *site.Site, payload *BatchPayload, priority in
 // returned handle tracks the agent's occupancy of the node; the
 // *Agent becomes usable once Ready fires.
 func LaunchWithOptions(sim *simclock.Sim, st *site.Site, payload *BatchPayload, priority int, opts Options) (*Agent, *batch.Handle, error) {
+	a, req := newAgent(sim, st, payload, priority, opts)
+	h, err := st.Submit(req, site.SubmitOptions{
+		WithAgent: true, TraceJob: a.opts.TraceJob, TraceAttempt: a.opts.TraceAttempt})
+	if err != nil {
+		return nil, nil, err
+	}
+	a.id = fmt.Sprintf("agent-%s-%s", st.Name(), h.ID())
+	return a, h, nil
+}
+
+// LaunchAsync is LaunchWithOptions for the callback engine: the
+// gatekeeper submission runs through SubmitAsync and the agent body is
+// dispatched as a continuation chain, so no goroutine hosts the agent.
+// cont receives the same results the blocking variant returns.
+func LaunchAsync(sim *simclock.Sim, st *site.Site, payload *BatchPayload, priority int, opts Options, cont func(*Agent, *batch.Handle, error)) {
+	a, req := newAgent(sim, st, payload, priority, opts)
+	st.SubmitAsync(req, site.SubmitOptions{
+		WithAgent: true, TraceJob: a.opts.TraceJob, TraceAttempt: a.opts.TraceAttempt},
+		func(h *batch.Handle, err error) {
+			if err != nil {
+				cont(nil, nil, err)
+				return
+			}
+			a.id = fmt.Sprintf("agent-%s-%s", st.Name(), h.ID())
+			cont(a, h, nil)
+		})
+}
+
+// newAgent builds the agent and its LRM request. Both body shapes are
+// attached; the LRM picks RunCB only on the callback engine.
+func newAgent(sim *simclock.Sim, st *site.Site, payload *BatchPayload, priority int, opts Options) (*Agent, batch.Request) {
 	if opts.Degree <= 0 {
 		opts.Degree = 1
 	}
@@ -158,20 +198,16 @@ func LaunchWithOptions(sim *simclock.Sim, st *site.Site, payload *BatchPayload, 
 		owner = payload.Owner
 		a.batchID = payload.ID
 	}
+	startup := st.Costs().JobStartup
 	req := batch.Request{
 		ID:       "",
 		Owner:    owner,
 		Nodes:    1,
 		Priority: priority,
-		Run:      a.body(payload, st.Costs().JobStartup),
+		Run:      a.body(payload, startup),
+		RunCB:    a.bodyCB(payload, startup),
 	}
-	h, err := st.Submit(req, site.SubmitOptions{
-		WithAgent: true, TraceJob: opts.TraceJob, TraceAttempt: opts.TraceAttempt})
-	if err != nil {
-		return nil, nil, err
-	}
-	a.id = fmt.Sprintf("agent-%s-%s", st.Name(), h.ID())
-	return a, h, nil
+	return a, req
 }
 
 // body is the agent's life on the worker node.
@@ -219,6 +255,54 @@ func (a *Agent) body(payload *BatchPayload, startup time.Duration) func(*batch.E
 			a.released.Fire()
 		}
 		a.batchVM.Close()
+	}
+}
+
+// bodyCB is body for the callback engine: the same lifecycle with the
+// payload sub-process as a Post + timer chain and both waits as
+// trigger continuations — one event per step, at the same instants the
+// cooperative body's Go/Sleep/Wait schedule theirs.
+func (a *Agent) bodyCB(payload *BatchPayload, startup time.Duration) func(*batch.ExecCtx, func()) {
+	return func(ctx *batch.ExecCtx, fin func()) {
+		a.node = ctx.Nodes[0]
+		a.batchVM = a.node.CPU.NewSlot("batch-vm", interactiveTickets)
+		a.ready.Fire()
+
+		if payload != nil {
+			a.sim.Post(func() {
+				a.sim.AfterFunc(startup, func() {
+					if payload.Work > 0 {
+						workDone := a.batchVM.Start(payload.Work)
+						w := a.sim.NewTrigger()
+						workDone.OnFire(w.Fire)
+						ctx.Killed.OnFire(w.Fire)
+						w.WaitThen(func() {
+							if workDone.Fired() && !ctx.Killed.Fired() {
+								a.batchFinished()
+							}
+						})
+						return
+					}
+					if !ctx.Killed.Fired() {
+						a.batchFinished()
+					}
+				})
+			})
+		} else {
+			a.batchDone = true
+		}
+
+		w := a.sim.NewTrigger()
+		a.released.OnFire(w.Fire)
+		ctx.Killed.OnFire(w.Fire)
+		w.WaitThen(func() {
+			if ctx.Killed.Fired() && !a.released.Fired() {
+				a.opts.Trace.Emit(trace.Event{Kind: trace.AgentDied, Site: a.siteName, Detail: a.id + " evicted"})
+				a.released.Fire()
+			}
+			a.batchVM.Close()
+			fin()
+		})
 	}
 }
 
@@ -328,13 +412,13 @@ func (a *Agent) StartInteractive(job InteractiveJob) (*simclock.Trigger, error) 
 	wasIdle := len(a.activePL) == 0
 	a.activePL[job.ID] = job.PerformanceLoss
 	a.applyBatchShare(wasIdle)
+	if a.FreeSlots() == 0 && a.OnBusy != nil {
+		a.OnBusy(a)
+	}
 
 	slot := a.node.CPU.NewSlot("interactive-vm/"+job.ID, interactiveTickets)
 	done := a.sim.NewTrigger()
-	a.sim.Go(func() {
-		if job.Run != nil {
-			job.Run(&InteractiveContext{Sim: a.sim, Slot: slot, Node: a.node})
-		}
+	cleanup := func() {
 		slot.Close()
 		delete(a.activePL, job.ID)
 		if !a.released.Fired() {
@@ -347,6 +431,22 @@ func (a *Agent) StartInteractive(job InteractiveJob) (*simclock.Trigger, error) 
 		}
 		done.Fire()
 		a.maybeLeave()
+	}
+	if a.sim.Callback() && (job.RunCB != nil || job.Run == nil) {
+		a.sim.Post(func() {
+			if job.RunCB != nil {
+				job.RunCB(&InteractiveContext{Sim: a.sim, Slot: slot, Node: a.node}, cleanup)
+				return
+			}
+			cleanup()
+		})
+		return done, nil
+	}
+	a.sim.Go(func() {
+		if job.Run != nil {
+			job.Run(&InteractiveContext{Sim: a.sim, Slot: slot, Node: a.node})
+		}
+		cleanup()
 	})
 	return done, nil
 }

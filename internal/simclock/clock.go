@@ -15,6 +15,17 @@
 //
 // Virtual time only advances when no process is runnable, mirroring the
 // usual sequential discrete-event simulation loop.
+//
+// # Same-timestamp ordering
+//
+// Events scheduled for the same virtual instant dispatch in the order
+// they were scheduled — FIFO by a monotone sequence number, never by
+// heap accident. This holds uniformly across every scheduling source:
+// AfterFunc/At/Post callbacks, Go process starts, Sleep wake-ups, and
+// Trigger/Queue releases all draw from one sequence. The guarantee is
+// part of the Clock contract for the simulated implementation; the
+// byte-identical equivalence between the goroutine and callback
+// engines (see Engine) depends on it and pins it under test.
 package simclock
 
 import (

@@ -1,0 +1,205 @@
+package simclock
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestSameTimestampFIFO pins the Clock contract that events scheduled
+// for the same virtual instant dispatch in scheduling order, across
+// every scheduling source: AfterFunc, Post, Go, Sleep wake-ups and
+// Trigger releases. The two-engine equivalence proof depends on this.
+func TestSameTimestampFIFO(t *testing.T) {
+	s := NewSim(time.Time{})
+	var got []string
+	rec := func(tag string) func() { return func() { got = append(got, tag) } }
+
+	// Everything below lands at now+1s. Sequence numbers are drawn when
+	// the event is actually scheduled: AfterFunc/At at call time, a
+	// Sleep wake-up when the process executes the Sleep (here at t=0,
+	// after every setup call), and Trigger waiters when Fire runs.
+	s.AfterFunc(time.Second, rec("afterfunc-1"))
+	s.Go(func() { s.Sleep(time.Second); got = append(got, "sleep-wake") })
+	s.AfterFunc(time.Second, rec("afterfunc-2"))
+	s.At(s.Now().Add(time.Second), rec("at"))
+	tr := s.NewTrigger()
+	s.AfterFunc(time.Second, func() { got = append(got, "fire"); tr.Fire() })
+	// Waiters release in registration order: the WaitThen continuation
+	// registers here at setup, the two Wait processes register when
+	// they execute at t=0. Each releases in its own event scheduled by
+	// Fire, so after every event already queued for t=1s.
+	s.Go(func() { tr.Wait(); got = append(got, "wait-1") })
+	tr.WaitThen(rec("waitthen"))
+	s.Go(func() { tr.Wait(); got = append(got, "wait-2") })
+	s.AfterFunc(time.Second, rec("afterfunc-3"))
+	s.Run()
+
+	want := []string{
+		"afterfunc-1", "afterfunc-2", "at", "fire",
+		"afterfunc-3", "sleep-wake", "waitthen", "wait-1", "wait-2",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("same-timestamp dispatch order:\n got  %v\n want %v", got, want)
+	}
+}
+
+// TestPostRunsAfterPendingEvents pins Post's FIFO slot: it runs after
+// events already scheduled for the current instant, like Go does.
+func TestPostRunsAfterPendingEvents(t *testing.T) {
+	s := NewSim(time.Time{})
+	var got []string
+	s.AfterFunc(0, func() { got = append(got, "a") })
+	s.Post(func() { got = append(got, "b") })
+	s.Go(func() { got = append(got, "c") })
+	s.Post(func() { got = append(got, "d") })
+	s.Run()
+	if fmt.Sprint(got) != "[a b c d]" {
+		t.Fatalf("Post order = %v, want [a b c d]", got)
+	}
+}
+
+// TestTimerStopWhileFiring pins the callback-path race fixed in this
+// package: Stop called while the timer's own callback is on the stack
+// must report false (the call was not prevented), even though the
+// event has not been recycled yet.
+func TestTimerStopWhileFiring(t *testing.T) {
+	s := NewSim(time.Time{})
+	var tm Timer
+	fired := false
+	tm = s.AfterFunc(time.Second, func() {
+		fired = true
+		if tm.Stop() {
+			t.Error("Stop during own fire reported true; callback is running")
+		}
+	})
+	s.Run()
+	if !fired {
+		t.Fatal("timer never fired")
+	}
+	if tm.Stop() {
+		t.Error("Stop after fire reported true")
+	}
+}
+
+// TestTimerStopSameTick pins the owner-cancels-at-the-same-tick shape:
+// an event at tick T stopping a timer also scheduled for T (but not
+// yet dispatched) prevents the callback and Stop reports true.
+func TestTimerStopSameTick(t *testing.T) {
+	s := NewSim(time.Time{})
+	fired := false
+	var tm Timer
+	s.AfterFunc(time.Second, func() {
+		if !tm.Stop() {
+			t.Error("Stop on not-yet-dispatched same-tick timer reported false")
+		}
+	})
+	tm = s.AfterFunc(time.Second, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("stopped timer fired anyway")
+	}
+}
+
+// TestTimerStopInterleavings is a seeded property test over random
+// schedule/stop interleavings. Invariants, for every timer:
+//
+//   - Stop returned true  ⇒ the callback never runs.
+//   - Stop returned false ⇒ the callback runs exactly once (it had
+//     already fired, was firing at that moment, or a previous Stop
+//     already claimed it).
+//   - No callback runs twice; callbacks of never-stopped timers run.
+func TestTimerStopInterleavings(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewSim(time.Time{})
+
+		const n = 40
+		type tstate struct {
+			timer   Timer
+			fires   int
+			stopped bool // some Stop call returned true
+		}
+		timers := make([]*tstate, n)
+		for i := 0; i < n; i++ {
+			ts := &tstate{}
+			timers[i] = ts
+			d := time.Duration(rng.Intn(5)) * time.Second
+			ts.timer = s.AfterFunc(d, func() { ts.fires++ })
+		}
+		// Random stop attempts at random ticks, including ticks where
+		// the victim fires; several victims get multiple attempts.
+		for k := 0; k < n; k++ {
+			victim := timers[rng.Intn(n)]
+			at := time.Duration(rng.Intn(6)) * time.Second
+			s.AfterFunc(at, func() {
+				if victim.timer.Stop() {
+					if victim.stopped {
+						t.Fatalf("seed %d: two Stop calls both returned true", seed)
+					}
+					victim.stopped = true
+				}
+			})
+		}
+		s.Run()
+
+		for i, ts := range timers {
+			switch {
+			case ts.stopped && ts.fires != 0:
+				t.Fatalf("seed %d timer %d: Stop returned true but callback ran %d times", seed, i, ts.fires)
+			case !ts.stopped && ts.fires != 1:
+				t.Fatalf("seed %d timer %d: never stopped but callback ran %d times", seed, i, ts.fires)
+			}
+		}
+	}
+}
+
+// TestWaitThenAfterFire pins that WaitThen on an already-fired trigger
+// runs the continuation inline, matching Wait's immediate return.
+func TestWaitThenAfterFire(t *testing.T) {
+	s := NewSim(time.Time{})
+	tr := s.NewTrigger()
+	tr.Fire()
+	ran := false
+	tr.WaitThen(func() { ran = true })
+	if !ran {
+		t.Fatal("WaitThen on fired trigger did not run inline")
+	}
+}
+
+// TestEngineKnob pins the Engine accessor plumbing and flag parsing.
+func TestEngineKnob(t *testing.T) {
+	s := NewSim(time.Time{})
+	if s.Engine() != defaultEngine {
+		t.Fatalf("NewSim engine = %v, want the process default %v", s.Engine(), defaultEngine)
+	}
+	if os.Getenv("SIMCLOCK_ENGINE") == "" && defaultEngine != EngineGoroutine {
+		t.Fatal("default engine should be goroutine absent a SIMCLOCK_ENGINE override")
+	}
+	s.SetEngine(EngineCallback)
+	if !s.Callback() {
+		t.Fatal("SetEngine(EngineCallback) not reflected")
+	}
+	for _, tc := range []struct {
+		in   string
+		want Engine
+		err  bool
+	}{
+		{"", EngineCallback, false},
+		{"callback", EngineCallback, false},
+		{"cb", EngineCallback, false},
+		{"goroutine", EngineGoroutine, false},
+		{"go", EngineGoroutine, false},
+		{"bogus", EngineGoroutine, true},
+	} {
+		got, err := ParseEngine(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseEngine(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if EngineCallback.String() != "callback" || EngineGoroutine.String() != "goroutine" {
+		t.Error("Engine.String spellings changed")
+	}
+}

@@ -2,7 +2,7 @@ package simclock
 
 import (
 	"fmt"
-	"sync"
+	"os"
 	"time"
 )
 
@@ -15,16 +15,117 @@ import (
 // Trigger, or finishes. Virtual time jumps directly from one event to
 // the next, so simulations covering hours complete in microseconds and
 // are bit-for-bit reproducible.
+//
+// Sim state is deliberately unlocked. Exactly one logical thread is
+// ever active — the scheduler, or the one process it handed control to
+// — and every transfer of control flows through a proc's wake/yield
+// channel handshake, whose sends and receives order all state access
+// between the scheduler goroutine and process goroutines (the race
+// detector sees those edges; CI runs the full suite under -race in
+// both engine modes). Calls from outside a run — the driver thread
+// between RunFor chunks — are part of the same single logical thread.
+// What is NOT supported is calling into one Sim from a second OS
+// thread concurrently with a run; no package in this repository does
+// (netsim, gsi, interpose and mpisim run real goroutines but never
+// touch a Sim). The callback engine gets its hot-loop win from
+// exactly this: event dispatch is a plain function call with no
+// lock, no handshake and no scheduler round-trip.
 type Sim struct {
-	mu     sync.Mutex
 	now    time.Time
 	events eventHeap
 	freeEv []*event // recycled events; see event.gen
 	freePr []*proc  // idle pooled process workers; see Go
 	seq    int64
-	cur    *proc // process currently holding control, nil in plain events
-	nprocs int   // live (not yet exited) processes
+	cur    *proc  // process currently holding control, nil in plain events
+	firing *event // event currently being dispatched; see simTimer.Stop
+	nprocs int    // live (not yet exited) processes
+	eng    Engine
 }
+
+// Engine selects how components built on Sim execute their logic.
+//
+// The clock itself always supports both styles — Go/Sleep processes and
+// AfterFunc callbacks interleave freely on one heap. The Engine value is
+// a mode switch that substrate packages (site, batch, glidein, broker,
+// federation) consult when they have two implementations of the same
+// flow: a cooperative-process reference version (Go + Sleep, one pooled
+// goroutine per live process, a channel handshake per step) and a
+// run-to-completion version (pure callbacks dispatched inline from the
+// heap, no goroutine, no handshake).
+//
+// The two implementations are event-pattern equivalent by construction:
+// every Go maps to one event at +0, every Sleep(d) to one event at +d
+// scheduled at the same execution point, and every Trigger.Wait to a
+// continuation on the same FIFO waiter list — so seq allocation order,
+// and therefore same-timestamp dispatch order, is identical. Fixed-seed
+// runs produce byte-identical traces under either engine; the
+// equivalence suite in internal/experiments pins this for every
+// committed experiment.
+type Engine int
+
+const (
+	// EngineGoroutine is the cooperative reference engine: hot flows run
+	// as Go/Sleep processes. Default, and the only mode that supports
+	// arbitrary blocking job bodies.
+	EngineGoroutine Engine = iota
+	// EngineCallback is the run-to-completion engine: hot flows run as
+	// continuation-passing callbacks with no goroutine handshake. Flows
+	// without a callback implementation (console/real-time shapes,
+	// custom blocking job bodies) transparently stay on the cooperative
+	// path; a stray Sleep on the scheduler goroutine still panics.
+	EngineCallback
+)
+
+func (e Engine) String() string {
+	if e == EngineCallback {
+		return "callback"
+	}
+	return "goroutine"
+}
+
+// ParseEngine maps the -engine flag spellings to an Engine. The empty
+// string selects the callback engine (the fast default for experiment
+// drivers).
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "callback", "cb":
+		return EngineCallback, nil
+	case "goroutine", "go", "proc":
+		return EngineGoroutine, nil
+	}
+	return EngineGoroutine, fmt.Errorf("simclock: unknown engine %q (want callback or goroutine)", s)
+}
+
+// SetEngine selects the execution engine substrate packages should use.
+// It must be called before any components are driven; switching engines
+// mid-run is not supported.
+func (s *Sim) SetEngine(e Engine) {
+	s.eng = e
+}
+
+// Engine reports the selected execution engine.
+func (s *Sim) Engine() Engine {
+	return s.eng
+}
+
+// Callback reports whether the run-to-completion callback engine is
+// selected.
+func (s *Sim) Callback() bool { return s.Engine() == EngineCallback }
+
+// defaultEngine seeds every NewSim: the goroutine reference engine,
+// unless the SIMCLOCK_ENGINE environment variable names another. The
+// override is CI's engine matrix hook — running the full test suite
+// with every default-constructed Sim in callback mode checks engine
+// equivalence across every suite, not just the tests that set the knob
+// explicitly. Unparseable values fall back to the reference engine.
+var defaultEngine = func() Engine {
+	if v := os.Getenv("SIMCLOCK_ENGINE"); v != "" {
+		if e, err := ParseEngine(v); err == nil {
+			return e
+		}
+	}
+	return EngineGoroutine
+}()
 
 // NewSim returns a simulation clock starting at start. A zero start is
 // replaced with a fixed, arbitrary epoch so tests are reproducible.
@@ -32,7 +133,7 @@ func NewSim(start time.Time) *Sim {
 	if start.IsZero() {
 		start = time.Date(2006, time.September, 25, 12, 0, 0, 0, time.UTC)
 	}
-	return &Sim{now: start}
+	return &Sim{now: start, eng: defaultEngine}
 }
 
 type event struct {
@@ -48,7 +149,6 @@ type event struct {
 // recycle returns an executed or canceled event to the free list.
 // Bumping gen invalidates any simTimer still holding the event, and
 // clearing fn/proc drops the closure for the garbage collector.
-// Callers must hold s.mu.
 func (s *Sim) recycle(e *event) {
 	e.gen++
 	e.fn = nil
@@ -60,6 +160,13 @@ func (s *Sim) recycle(e *event) {
 // Heap operations dominate busy simulations, so ordering compares two
 // pre-computed int64s instead of time.Time values through the
 // container/heap interface.
+//
+// The seq tiebreak is a contract, not an implementation detail: events
+// scheduled for the same timestamp dispatch in the order they were
+// scheduled (FIFO). Both execution engines rely on this — the two-mode
+// equivalence proof holds only because a callback scheduled at the same
+// (time, position-in-code) as a process wake receives the same seq and
+// therefore the same dispatch slot. See TestSameTimestampFIFO.
 type eventHeap []*event
 
 func (h eventHeap) less(i, j int) bool {
@@ -123,8 +230,6 @@ type proc struct {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() time.Time {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.now
 }
 
@@ -135,8 +240,6 @@ func (s *Sim) schedule(d time.Duration, fn func(), p *proc) *event {
 	if d < 0 {
 		d = 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	at := s.now.Add(d)
 	var e *event
 	if n := len(s.freeEv); n > 0 {
@@ -165,17 +268,38 @@ func (s *Sim) At(t time.Time, fn func()) Timer {
 	return s.AfterFunc(t.Sub(s.Now()), fn)
 }
 
+// Post schedules fn to run in its own event at the current virtual
+// time, after all events already scheduled for this instant (FIFO). It
+// is the callback-engine analogue of Go: one event at +0, no goroutine.
+func (s *Sim) Post(fn func()) {
+	s.schedule(0, fn, nil)
+}
+
 type simTimer struct {
 	s   *Sim
 	e   *event
 	gen uint64
 }
 
+// Stop cancels the timer, reporting whether the call was stopped before
+// firing. Stop on a timer whose event is being dispatched right now —
+// its callback is on the stack, directly or transitively calling Stop —
+// returns false: the call was not prevented. Stop on a timer scheduled
+// for the current tick but not yet dispatched returns true and the
+// callback never runs, even when the canceling event carries the same
+// timestamp. This mirrors time.Timer.Stop semantics and is pinned by
+// TestTimerStopInterleavings.
 func (t simTimer) Stop() bool {
-	t.s.mu.Lock()
-	defer t.s.mu.Unlock()
 	if t.e.gen != t.gen || t.e.canceled {
 		return false // already executed (event recycled) or already stopped
+	}
+	if t.e == t.s.firing {
+		// The event was popped and its callback is running on the
+		// scheduler stack at this very moment; it cannot be prevented.
+		// Without this check the gen counter still matches (recycling
+		// happens after dispatch) and Stop would claim success while
+		// the callback runs anyway.
+		return false
 	}
 	t.e.canceled = true
 	return true
@@ -186,26 +310,21 @@ func (t simTimer) Stop() bool {
 // Trigger.Wait freely. Go may be called before Run or from within a
 // running event or process.
 func (s *Sim) Go(fn func()) {
-	s.mu.Lock()
 	s.nprocs++
 	var p *proc
 	if n := len(s.freePr); n > 0 {
 		p = s.freePr[n-1]
 		s.freePr = s.freePr[:n-1]
 		p.fn = fn
-		s.mu.Unlock()
 	} else {
 		p = &proc{wake: make(chan struct{}), yield: make(chan struct{}), fn: fn}
-		s.mu.Unlock()
 		go func() {
 			for {
 				<-p.wake
 				p.fn()
-				s.mu.Lock()
 				s.nprocs--
 				p.fn = nil
 				s.freePr = append(s.freePr, p)
-				s.mu.Unlock()
 				p.yield <- struct{}{}
 			}
 		}()
@@ -224,9 +343,7 @@ func (s *Sim) Sleep(d time.Duration) {
 }
 
 func (s *Sim) currentProc() *proc {
-	s.mu.Lock()
 	p := s.cur
-	s.mu.Unlock()
 	if p == nil {
 		panic("simclock: Sleep/Wait called outside a Sim process; use Sim.Go")
 	}
@@ -236,24 +353,21 @@ func (s *Sim) currentProc() *proc {
 // step executes the next pending event. It reports false when no
 // events remain or the next event lies beyond limit (when hasLimit).
 func (s *Sim) step(limit time.Time, hasLimit bool) bool {
-	s.mu.Lock()
 	for len(s.events) > 0 && s.events[0].canceled {
 		s.recycle(s.events.pop())
 	}
 	if len(s.events) == 0 {
-		s.mu.Unlock()
 		return false
 	}
 	e := s.events[0]
 	if hasLimit && e.at.After(limit) {
 		s.now = limit
-		s.mu.Unlock()
 		return false
 	}
 	s.events.pop()
 	s.now = e.at
 	s.cur = e.proc
-	s.mu.Unlock()
+	s.firing = e
 
 	if e.proc != nil {
 		e.proc.wake <- struct{}{}
@@ -262,10 +376,9 @@ func (s *Sim) step(limit time.Time, hasLimit bool) bool {
 		e.fn()
 	}
 
-	s.mu.Lock()
 	s.cur = nil
+	s.firing = nil
 	s.recycle(e)
-	s.mu.Unlock()
 	return true
 }
 
@@ -293,8 +406,6 @@ func (s *Sim) RunFor(d time.Duration) time.Time {
 
 // Pending reports the number of scheduled, uncanceled events.
 func (s *Sim) Pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
 	for _, e := range s.events {
 		if !e.canceled {
@@ -306,8 +417,6 @@ func (s *Sim) Pending() int {
 
 // String describes the clock state, for debugging.
 func (s *Sim) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return fmt.Sprintf("sim(now=%s pending=%d procs=%d)", s.now.Format(time.RFC3339), len(s.events), s.nprocs)
 }
 

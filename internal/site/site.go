@@ -344,6 +344,20 @@ func (s *Site) QueryStateOK() (free, queued int, ok bool) {
 	return s.lrms.FreeNodeCount(), s.lrms.QueueLength(), true
 }
 
+// QueryStateAsync is QueryStateOK for the callback engine: the probe's
+// round trip plus gatekeeper processing is charged through one timer
+// event — the same single event a blocking probe's Sleep schedules —
+// and cont receives the result at the same instant.
+func (s *Site) QueryStateAsync(cont func(free, queued int, ok bool)) {
+	s.sim.AfterFunc(s.cfg.Network.RTT()+s.cfg.QueryCost, func() {
+		if !s.Available() {
+			cont(0, 0, false)
+			return
+		}
+		cont(s.lrms.FreeNodeCount(), s.lrms.QueueLength(), true)
+	})
+}
+
 // SubmitOptions select which middleware costs a gatekeeper submission
 // pays.
 type SubmitOptions struct {
@@ -435,4 +449,87 @@ func (s *Site) Submit(req batch.Request, opts SubmitOptions) (*batch.Handle, err
 	s.stats.Committed++
 	s.tracer.Emit(trace.Event{Kind: trace.Committed, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
 	return h, nil
+}
+
+// SubmitAsync is Submit for the callback engine: the same cost chain,
+// availability checks and two-phase-commit bookkeeping, with every
+// Sleep replaced by exactly one timer event at the same execution
+// point — so a fixed-seed run interleaves identically with the
+// blocking version and traces stay byte-identical. cont runs once the
+// commit resolves or the attempt fails.
+func (s *Site) SubmitAsync(req batch.Request, opts SubmitOptions, cont func(*batch.Handle, error)) {
+	c := s.cfg.Costs
+	if stall := s.gkStallUntil.Sub(s.sim.Now()); stall > 0 {
+		s.sim.AfterFunc(stall, func() {
+			cont(nil, fmt.Errorf("%w after %v", ErrGatekeeperTimeout, stall))
+		})
+		return
+	}
+	if !s.Available() {
+		s.sim.AfterFunc(s.cfg.Network.RTT(), func() { // failed connection attempt
+			cont(nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name))
+		})
+		return
+	}
+	commitAck := func(h *batch.Handle, tj string) {
+		s.inflight--
+		if !s.Available() {
+			s.lrms.Kill(req.ID)
+			if req.ID == "" {
+				s.lrms.Kill(h.ID())
+			}
+			s.stats.Aborted++
+			s.tracer.Emit(trace.Event{Kind: trace.CommitAborted, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
+			cont(nil, fmt.Errorf("%w: %s died before commit", ErrCommitAborted, s.cfg.Name))
+			return
+		}
+		s.stats.Committed++
+		s.tracer.Emit(trace.Event{Kind: trace.Committed, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
+		cont(h, nil)
+	}
+	phase1 := func() {
+		if !s.Available() {
+			cont(nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name))
+			return
+		}
+		h, err := s.lrms.Submit(req) // phase-1 accept
+		if err != nil {
+			s.stats.Phase1Rejects++
+			cont(nil, err)
+			return
+		}
+		tj := opts.TraceJob
+		if tj == "" {
+			tj = h.ID()
+		}
+		s.stats.Sent++
+		s.inflight++
+		if s.inflight > s.stats.MaxInflight {
+			s.stats.MaxInflight = s.inflight
+		}
+		s.tracer.Emit(trace.Event{Kind: trace.CommitSent, Job: tj, Site: s.cfg.Name, Attempt: opts.TraceAttempt})
+		s.sim.AfterFunc(s.cfg.Network.RTT(), func() { commitAck(h, tj) }) // commit acknowledgment
+	}
+	afterAuth := func() {
+		if opts.WithAgent {
+			s.sim.AfterFunc(c.AgentStage, phase1)
+		} else {
+			phase1()
+		}
+	}
+	afterTransfer := func() {
+		if !s.Available() {
+			cont(nil, fmt.Errorf("%w: %s", ErrSiteDown, s.cfg.Name))
+			return
+		}
+		s.sim.AfterFunc(c.Auth+c.GRAM, afterAuth)
+	}
+	// Request travels to the gatekeeper; two-phase commit costs a
+	// second round trip after the LRM accepts.
+	transfer := func() { s.sim.AfterFunc(s.cfg.Network.RTT(), afterTransfer) }
+	if !opts.SkipStage {
+		s.sim.AfterFunc(c.Stage, transfer)
+	} else {
+		transfer()
+	}
 }
